@@ -1,0 +1,55 @@
+"""Shared plumbing for the figure-regeneration benchmarks.
+
+Every bench:
+
+* reads its effort knobs from the environment —
+  ``REFER_BENCH_SEEDS`` (default 2), ``REFER_BENCH_SIM_TIME`` (default
+  30 s measured), ``REFER_BENCH_RATE`` (default 12 packets/s/source);
+* regenerates one evaluation figure via ``repro.experiments.figures``;
+* prints the series table (also saved under ``benchmarks/results/``)
+  so the rows the paper plots can be read off the bench output;
+* asserts the figure's qualitative shape (who wins, what grows).
+
+Point the knobs higher (e.g. ``REFER_BENCH_SEEDS=5
+REFER_BENCH_SIM_TIME=120``) for tighter confidence intervals; the
+defaults keep a full ``pytest benchmarks/ --benchmark-only`` run in the
+tens of minutes on a laptop.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+
+from repro.experiments.config import ScenarioConfig
+from repro.experiments.figures import FigureData
+from repro.experiments.report import format_figure
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def bench_seeds() -> int:
+    return int(os.environ.get("REFER_BENCH_SEEDS", "2"))
+
+
+def bench_base_config() -> ScenarioConfig:
+    sim_time = float(os.environ.get("REFER_BENCH_SIM_TIME", "30"))
+    rate = float(os.environ.get("REFER_BENCH_RATE", "12"))
+    return ScenarioConfig(
+        sim_time=sim_time,
+        warmup=max(2.0, sim_time / 10.0),
+        rate_pps=rate,
+    )
+
+
+def emit(data: FigureData, filename: str) -> str:
+    """Render, persist and print one regenerated figure."""
+    table = format_figure(data)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / filename).write_text(table + "\n", encoding="utf-8")
+    print("\n" + table)
+    return table
+
+
+def series_values(data: FigureData, system: str):
+    return [p.mean for p in data.series[system]]

@@ -1,0 +1,46 @@
+"""Ablation: REFER with K(d, 3) cells of varying degree (future work).
+
+The paper's conclusion lists "the Kautz graph K(d, k) with various d
+and k values" as future work; the library's generic cell-embedding
+fill-in makes d > 2 runnable.  Larger d packs more sensors per cell
+(more members to maintain, shorter intra-cell paths); the bench
+regenerates the comparison.
+"""
+
+from repro.experiments.runner import run_scenario_cached
+
+from _common import bench_base_config, emit
+
+
+def test_kautz_degree_sweep(benchmark):
+    base = bench_base_config()
+
+    def sweep():
+        results = {}
+        for degree in (2, 3):
+            config = base.with_(kautz_degree=degree, seed=1)
+            results[degree] = run_scenario_cached("REFER", config)
+        return results
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print("\nREFER with K(d, 3) cells:")
+    header = (
+        f"{'d':>3s} {'cell size':>10s} {'throughput':>12s} {'delay ms':>9s}"
+        f" {'comm J':>9s} {'constr J':>9s}"
+    )
+    print(header)
+    for degree, r in results.items():
+        cell_size = (degree + 1) * degree ** 2
+        print(
+            f"{degree:3d} {cell_size:10d} {r.throughput_bps / 1000:10.1f} kb"
+            f" {1000 * r.mean_delay_s:9.2f} {r.comm_energy_j:9.0f}"
+            f" {r.construction_energy_j:9.0f}"
+        )
+
+    r2, r3 = results[2], results[3]
+    # Both configurations must function as real-time systems.
+    assert r2.delivery_ratio > 0.95
+    assert r3.delivery_ratio > 0.9
+    # Bigger cells cost more maintenance/communication energy —
+    # the degree/overhead tradeoff of Section III-A.
+    assert r3.comm_energy_j > r2.comm_energy_j

@@ -1,0 +1,119 @@
+"""Ablation: network lifetime under finite batteries.
+
+The paper argues energy-efficiency with unbounded batteries (Joules
+consumed).  This bench closes the loop: give every sensor the same
+finite battery and measure how long each system keeps delivering.
+REFER's lower per-event cost and its battery-aware node replacement
+(low-battery Kautz nodes step down for fresh candidates) should buy it
+a longer useful life than the flood-repairing baselines.
+"""
+
+import random
+
+from repro.baselines import DaTreeSystem, DDearSystem
+from repro.core.system import ReferSystem
+from repro.net.energy import Phase
+from repro.net.network import WirelessNetwork
+from repro.net.packet import Packet, PacketKind
+from repro.sim.core import Simulator
+from repro.wsan.deployment import plan_deployment
+from repro.wsan.system import build_nodes
+
+BATTERY_J = 1500.0          # ~750 transmissions per sensor
+HORIZON = 120.0
+REPORT_PERIOD = 0.25        # 4 events/s network-wide
+WINDOW = 10.0
+
+
+def run_lifetime(system_cls, seed=3):
+    rng = random.Random(seed)
+    sim = Simulator()
+    network = WirelessNetwork(sim, rng)
+    plan = plan_deployment(200, 500.0, rng)
+    build_nodes(
+        network, plan, rng, sensor_max_speed=1.5,
+        battery_joules=BATTERY_J,
+    )
+    system = system_cls(network, plan, rng)
+    network.set_phase(Phase.CONSTRUCTION)
+    system.build()
+    network.set_phase(Phase.COMMUNICATION)
+    system.start()
+
+    delivered_per_window = []
+    state = {"delivered": 0}
+
+    def emit():
+        usable = [
+            s for s in system.sensor_ids if network.node(s).usable
+        ]
+        if usable:
+            source = rng.choice(usable)
+            system.send_event(
+                source,
+                Packet(PacketKind.DATA, 1000, source, None, sim.now,
+                       deadline=0.6),
+                on_delivered=lambda p: state.__setitem__(
+                    "delivered", state["delivered"] + 1
+                ),
+            )
+        if sim.now < HORIZON:
+            sim.schedule(REPORT_PERIOD, emit)
+
+    def snapshot():
+        delivered_per_window.append(state["delivered"])
+        state["delivered"] = 0
+        if sim.now < HORIZON:
+            sim.schedule(WINDOW, snapshot)
+
+    sim.schedule(0.0, emit)
+    sim.schedule(WINDOW, snapshot)
+    sim.run_until(HORIZON + 2.0)
+    system.stop()
+
+    dead = sum(
+        1
+        for s in system.sensor_ids
+        if network.node(s).battery_exhausted
+    )
+    per_window_max = WINDOW / REPORT_PERIOD
+    alive_windows = sum(
+        1
+        for count in delivered_per_window
+        if count >= 0.5 * per_window_max
+    )
+    return {
+        "system": system.name,
+        "dead_sensors": dead,
+        "alive_windows": alive_windows,
+        "windows": len(delivered_per_window),
+        "delivered_total": sum(delivered_per_window),
+    }
+
+
+def test_network_lifetime(benchmark):
+    results = benchmark.pedantic(
+        lambda: [
+            run_lifetime(cls)
+            for cls in (ReferSystem, DDearSystem, DaTreeSystem)
+        ],
+        rounds=1,
+        iterations=1,
+    )
+    print("\nNetwork lifetime with 1.5 kJ sensor batteries:")
+    print(
+        f"{'system':10s} {'dead sensors':>13s} {'healthy windows':>16s}"
+        f" {'delivered':>10s}"
+    )
+    for r in results:
+        print(
+            f"{r['system']:10s} {r['dead_sensors']:13d}"
+            f" {r['alive_windows']:>7d}/{r['windows']:<8d}"
+            f" {r['delivered_total']:10d}"
+        )
+    refer, ddear, datree = results
+    # REFER exhausts the fewest sensors and stays healthy longest.
+    assert refer["dead_sensors"] <= ddear["dead_sensors"]
+    assert refer["dead_sensors"] <= datree["dead_sensors"]
+    assert refer["alive_windows"] >= datree["alive_windows"]
+    assert refer["delivered_total"] >= 0.9 * datree["delivered_total"]

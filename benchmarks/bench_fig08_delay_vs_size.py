@@ -1,0 +1,37 @@
+"""Figure 8: delay versus network size (Section IV-C).
+
+Paper shape: REFER's delay stays nearly constant as the network grows
+(fixed-size cells, topology consistency); D-DEAR increases moderately;
+DaTree and Kautz-overlay increase sharply, with the overlay far worst.
+"""
+
+from repro.experiments.figures import fig8_delay_vs_size
+
+from _common import bench_base_config, bench_seeds, emit, series_values
+
+SIZES = (100, 200, 300, 400)
+
+
+def test_fig8(benchmark):
+    data = benchmark.pedantic(
+        lambda: fig8_delay_vs_size(
+            base=bench_base_config(), sizes=SIZES, seeds=bench_seeds()
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    emit(data, "fig08_delay_vs_size.txt")
+
+    refer = series_values(data, "REFER")
+    datree = series_values(data, "DaTree")
+    overlay = series_values(data, "Kautz-overlay")
+    # REFER: nearly constant across a 4x size range.
+    assert max(refer) < 2.0 * min(refer)
+    # DaTree and the overlay grow with size.
+    assert datree[-1] > 1.5 * datree[0]
+    assert overlay[-1] > 2.0 * overlay[0]
+    # The overlay's delay dwarfs REFER's at scale.
+    assert overlay[-1] > 5 * refer[-1]
+    # At n = 400, REFER beats DaTree (the paper's crossover happened
+    # already by n = 200).
+    assert refer[-1] < datree[-1]

@@ -1,0 +1,28 @@
+"""REFER: the paper's primary contribution.
+
+* :mod:`repro.core.ids` — (CID, KID) node identity.
+* :mod:`repro.core.cell` — runtime state of one embedded Kautz cell.
+* :mod:`repro.core.embedding` — the Kautz graph embedding protocol
+  (actuator ID assignment + sensor ID assignment, Section III-B).
+* :mod:`repro.core.maintenance` — awake/sleep candidates and node
+  replacement (Section III-B4).
+* :mod:`repro.core.routing` — intra-cell Theorem-3.8 routing and
+  inter-cell CAN routing (Section III-C2).
+* :mod:`repro.core.system` — :class:`ReferSystem`, the full WSAN stack.
+"""
+
+from repro.core.ids import ReferId
+from repro.core.cell import EmbeddedCell
+from repro.core.embedding import EmbeddingProtocol
+from repro.core.maintenance import TopologyMaintenance
+from repro.core.routing import ReferRouter
+from repro.core.system import ReferSystem
+
+__all__ = [
+    "ReferId",
+    "EmbeddedCell",
+    "EmbeddingProtocol",
+    "TopologyMaintenance",
+    "ReferRouter",
+    "ReferSystem",
+]

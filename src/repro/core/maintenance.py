@@ -1,0 +1,221 @@
+"""Topology maintenance: probing and node replacement (Section III-B4).
+
+Every round, each sensor-held Kautz node probes its Kautz neighbours
+(one broadcast, received by each neighbour).  A node is replaced when
+it is no longer usable, its battery falls below the threshold, or the
+sensed link quality to any Kautz neighbour drops below the breakage
+threshold — the paper's "links about to break" signal.  Replacement
+selects the best wait-state candidate: a usable non-member sensor in
+range of all the node's Kautz neighbours with the highest battery.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence
+
+from repro.core.cell import EmbeddedCell
+from repro.kautz.strings import KautzString
+from repro.net.network import WirelessNetwork
+from repro.sim.process import PeriodicProcess
+from repro.wsan.duty_cycle import DutyCycleManager, SensorState
+
+
+@dataclass
+class MaintenanceStats:
+    probes: int = 0
+    replacements: int = 0
+    failed_replacements: int = 0
+    rounds: int = 0
+
+
+class TopologyMaintenance:
+    """Periodic probe-and-replace across all embedded cells."""
+
+    def __init__(
+        self,
+        network: WirelessNetwork,
+        cells: Sequence[EmbeddedCell],
+        duty: DutyCycleManager,
+        rng: random.Random,
+        is_member: Callable[[int], bool],
+        claim: Callable[[int], None],
+        release: Callable[[int], None],
+        period: float = 2.0,
+        link_threshold: float = 0.15,
+        battery_threshold: float = 0.05,
+    ) -> None:
+        self.network = network
+        self.cells = list(cells)
+        self.duty = duty
+        self.rng = rng
+        self.stats = MaintenanceStats()
+        self._is_member = is_member
+        self._claim = claim
+        self._release = release
+        self._link_threshold = link_threshold
+        self._battery_threshold = battery_threshold
+        self._process = PeriodicProcess(
+            network.sim, period=period, action=self._round,
+            jitter=period / 10.0, rng=rng,
+        )
+
+    def start(self, initial_delay: float = 0.0) -> None:
+        self._process.start(initial_delay)
+
+    def stop(self) -> None:
+        self._process.stop()
+
+    # ------------------------------------------------------------------
+
+    def _round(self) -> None:
+        self.stats.rounds += 1
+        now = self.network.sim.now
+        for cell in self.cells:
+            for kid in cell.assigned_kids:
+                if cell.is_actuator_kid(kid):
+                    continue
+                self._check_node(cell, kid, now)
+
+    def _assigned_neighbors(
+        self, cell: EmbeddedCell, kid: KautzString
+    ) -> List[int]:
+        return [
+            cell.node_of(nb)
+            for nb in cell.kautz_neighbors_of(kid)
+            if cell.kid_assigned(nb)
+        ]
+
+    def _check_node(
+        self, cell: EmbeddedCell, kid: KautzString, now: float
+    ) -> None:
+        node_id = cell.node_of(kid)
+        node = self.network.node(node_id)
+        neighbors = self._assigned_neighbors(cell, kid)
+        # Probe: one broadcast, heard by each Kautz neighbour.
+        self.stats.probes += 1
+        self.network.energy.charge_tx(node_id, kind="probe")
+        node.drain(self.network.energy.model.tx_joules)
+        for nb in neighbors:
+            self.network.energy.charge_rx(nb, kind="probe")
+            self.network.node(nb).drain(self.network.energy.model.rx_joules)
+        current_quality = min(
+            (
+                self.network.medium.link_quality(node_id, nb, now)
+                for nb in neighbors
+            ),
+            default=1.0,
+        )
+        # A vertex is *broken* when the node itself is gone or a Kautz
+        # edge is already physically dead — any replacement beats it.
+        broken = (
+            not node.usable
+            or node.battery_fraction < self._battery_threshold
+            or current_quality == 0.0
+        )
+        if broken or current_quality < self._link_threshold:
+            self._replace(
+                cell, kid, node_id, neighbors, now, broken, current_quality
+            )
+
+    def _replace(
+        self,
+        cell: EmbeddedCell,
+        kid: KautzString,
+        node_id: int,
+        neighbors: List[int],
+        now: float,
+        must_replace: bool,
+        current_quality: float = 0.0,
+    ) -> None:
+        found = self._find_candidate(neighbors, now, must_replace)
+        if found is None:
+            self.stats.failed_replacements += 1
+            return
+        candidate, candidate_covered = found
+        if must_replace and self.network.node(node_id).usable:
+            # Replacing a live-but-degraded vertex only makes sense if
+            # the candidate restores strictly more Kautz edges.
+            medium = self.network.medium
+            current_covered = sum(
+                1
+                for nb in neighbors
+                if medium.can_transmit(node_id, nb, now)
+                and medium.can_transmit(nb, node_id, now)
+            )
+            if candidate_covered <= current_covered:
+                self.stats.failed_replacements += 1
+                return
+        if not must_replace:
+            # A weak-link replacement must actually improve matters:
+            # the candidate has to clear the breakage threshold, not
+            # merely match the incumbent — otherwise the cell churns.
+            candidate_quality = min(
+                self.network.medium.link_quality(candidate, nb, now)
+                for nb in neighbors
+            )
+            if candidate_quality <= max(current_quality, self._link_threshold):
+                self.stats.failed_replacements += 1
+                return
+        old = cell.reassign(kid, candidate)
+        self._release(old)
+        self._claim(candidate)
+        self.duty.replace(old, candidate)
+        self.stats.replacements += 1
+        # Notification messages: the departing node (or, if it is
+        # already gone, the candidate) informs each Kautz neighbour.
+        announcer = node_id if self.network.node(node_id).usable else candidate
+        self.network.energy.charge_tx(announcer, kind="control")
+        self.network.node(announcer).drain(self.network.energy.model.tx_joules)
+        for nb in neighbors:
+            self.network.energy.charge_rx(nb, kind="control")
+            self.network.node(nb).drain(self.network.energy.model.rx_joules)
+
+    def _find_candidate(
+        self, neighbors: List[int], now: float, must_replace: bool
+    ) -> Optional[tuple]:
+        """Best usable non-member sensor near the node's Kautz links.
+
+        Prefers candidates covering every Kautz neighbour; when the
+        cell geometry has degraded (or the node is outright broken and
+        ``must_replace`` is set) a partial-coverage candidate is
+        accepted — a weak link now beats a dead vertex, and the next
+        maintenance round keeps improving it.
+        """
+        medium = self.network.medium
+        if not neighbors:
+            return None
+        # Scan the neighbourhoods of the Kautz neighbours — candidates
+        # must be locally reachable, exactly like wait-state probing.
+        seen: set = set()
+        best = None
+        best_key = None
+        for anchor in neighbors:
+            for s in medium.neighbors(anchor, now):
+                if s in seen:
+                    continue
+                seen.add(s)
+                node = medium.node(s)
+                if not node.is_sensor or self._is_member(s):
+                    continue
+                covered = sum(
+                    1
+                    for nb in neighbors
+                    if medium.can_transmit(nb, s, now)
+                    and medium.can_transmit(s, nb, now)
+                )
+                if covered == 0:
+                    continue
+                qualities = [
+                    medium.link_quality(s, nb, now) for nb in neighbors
+                ]
+                key = (covered, min(qualities), node.battery_fraction, -s)
+                if best_key is None or key > best_key:
+                    best, best_key = s, key
+        if best is None:
+            return None
+        full_coverage = best_key[0] == len(neighbors)
+        if full_coverage or must_replace:
+            return (best, best_key[0])
+        return None

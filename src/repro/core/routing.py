@@ -1,0 +1,626 @@
+"""REFER's routing protocol (Section III-C2).
+
+Intra-cell: hop-by-hop greedy shortest Kautz routing; when the best
+successor cannot take the message (failed node, broken link, MAC
+drop), the relay consults the Theorem 3.8 table and tries the second,
+third, ... shortest disjoint path — locally, with no notification of
+the source and no route discovery.
+
+Inter-cell: actuators forward toward the destination cell by choosing
+the neighbouring actuator whose cell coordinates are closest to the
+destination CID (the CAN greedy rule), then intra-cell routing
+delivers within the destination cell.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.core.cell import EmbeddedCell
+from repro.core.ids import ReferId
+from repro.dht.can import CanOverlay
+from repro.errors import RoutingError
+from repro.kautz.disjoint import successor_table
+from repro.kautz.namespace import kautz_distance
+from repro.kautz.strings import KautzString
+from repro.net.network import WirelessNetwork
+from repro.net.packet import Packet
+from repro.util.geometry import Point
+from repro.wsan.deployment import Cell, DeploymentPlan
+
+DeliveredCallback = Callable[[Packet], None]
+DroppedCallback = Callable[[Packet], None]
+
+
+@dataclass
+class RoutingStats:
+    intra_messages: int = 0
+    inter_messages: int = 0
+    detours: int = 0              # non-best successors taken
+    congestion_detours: int = 0   # successors skipped for backlog
+    drops: int = 0
+    entry_relays: int = 0         # hops spent reaching a cell member
+
+
+class ReferRouter:
+    """Routes packets over the embedded cells and the actuator tier."""
+
+    def __init__(
+        self,
+        network: WirelessNetwork,
+        plan: DeploymentPlan,
+        cells: Sequence[EmbeddedCell],
+        max_hops: int = 40,
+        congestion_threshold: float = 0.05,
+    ) -> None:
+        """``congestion_threshold``: a successor whose radio queue
+        would delay the packet by more than this many seconds counts as
+        *congested* and the next disjoint path is tried instead —
+        Section III-C2 detours on "congested/failed" successors alike."""
+        self.network = network
+        self.plan = plan
+        self.cells = {cell.cid: cell for cell in cells}
+        self.stats = RoutingStats()
+        self._max_hops = max_hops
+        self._congestion_threshold = congestion_threshold
+        # The DHT upper tier (Section III-B3): one CAN zone per cell,
+        # keyed by the cell's normalised centroid.  Inter-cell messages
+        # follow the CAN route through cell space; each cell hop is
+        # realised by an actuator the two cells share (adjacent
+        # triangles always share an edge of two actuators).
+        self.can = CanOverlay()
+        self._cell_points = {}
+        for spec in plan.cells:
+            point = spec.can_point(plan.area_side)
+            self.can.join(spec.cid, point)
+            self._cell_points[spec.cid] = point
+
+    # ------------------------------------------------------------------
+    # membership helpers
+    # ------------------------------------------------------------------
+
+    def cell_holding(self, node_id: int) -> Optional[EmbeddedCell]:
+        """The cell (if any) in which ``node_id`` currently holds a KID."""
+        for cell in self.cells.values():
+            if cell.holds(node_id):
+                return cell
+        return None
+
+    def cell_at(self, position: Point) -> EmbeddedCell:
+        spec = self.plan.cell_of_point(position)
+        return self.cells[spec.cid]
+
+    def _actuator_cells(self, actuator_id: int) -> List[EmbeddedCell]:
+        return [
+            cell for cell in self.cells.values() if cell.holds(actuator_id)
+        ]
+
+    # ------------------------------------------------------------------
+    # public API
+    # ------------------------------------------------------------------
+
+    def send_to_actuator(
+        self,
+        source_id: int,
+        packet: Packet,
+        on_delivered: Optional[DeliveredCallback] = None,
+        on_dropped: Optional[DroppedCallback] = None,
+    ) -> None:
+        """Deliver to the nearest actuator of the source's cell."""
+        now = self.network.sim.now
+        position = self.network.node(source_id).position(now)
+        member_cell = self.cell_holding(source_id)
+        cell = member_cell if member_cell is not None else self.cell_at(position)
+        dest_actuator = min(
+            (cell.node_of(kid) for kid in cell.actuator_kids),
+            key=lambda a: self.network.node(a).position(now).distance_to(
+                position
+            ),
+        )
+        dest_kid = cell.kid_of(dest_actuator)
+        packet.destination = dest_actuator
+        self._enter_and_route(
+            source_id, cell, dest_kid, packet, on_delivered, on_dropped
+        )
+
+    def send_to(
+        self,
+        source_id: int,
+        dest: ReferId,
+        packet: Packet,
+        on_delivered: Optional[DeliveredCallback] = None,
+        on_dropped: Optional[DroppedCallback] = None,
+    ) -> None:
+        """Deliver to an arbitrary (CID, KID) destination.
+
+        Intra-cell if the source's cell matches; otherwise the packet
+        goes to the local actuator, crosses the actuator tier to the
+        destination cell, and finishes intra-cell (Section III-C2).
+        """
+        if dest.cid not in self.cells:
+            raise RoutingError(f"unknown destination cell {dest.cid}")
+        dest_cell = self.cells[dest.cid]
+        if not dest_cell.kid_assigned(dest.kid):
+            raise RoutingError(f"destination KID {dest.kid} unassigned")
+        packet.destination = dest_cell.node_of(dest.kid)
+        now = self.network.sim.now
+        position = self.network.node(source_id).position(now)
+        member_cell = self.cell_holding(source_id)
+        src_cell = member_cell if member_cell is not None else self.cell_at(position)
+        if src_cell.cid == dest.cid:
+            self._enter_and_route(
+                source_id, src_cell, dest.kid, packet,
+                on_delivered, on_dropped,
+            )
+            return
+        # Route to the local actuator first, then across the tier.
+        self.stats.inter_messages += 1
+        local_actuator = min(
+            (src_cell.node_of(kid) for kid in src_cell.actuator_kids),
+            key=lambda a: self.network.node(a).position(now).distance_to(
+                position
+            ),
+        )
+
+        def at_actuator(pkt: Packet) -> None:
+            self._route_tier(
+                local_actuator, dest, pkt, on_delivered, on_dropped
+            )
+
+        self._enter_and_route(
+            source_id,
+            src_cell,
+            src_cell.kid_of(local_actuator),
+            packet,
+            on_delivered=at_actuator,
+            on_dropped=on_dropped,
+        )
+
+    # ------------------------------------------------------------------
+    # entry: reaching a cell member from an arbitrary sensor
+    # ------------------------------------------------------------------
+
+    def _enter_and_route(
+        self,
+        source_id: int,
+        cell: EmbeddedCell,
+        dest_kid: KautzString,
+        packet: Packet,
+        on_delivered: Optional[DeliveredCallback],
+        on_dropped: Optional[DroppedCallback],
+    ) -> None:
+        if cell.holds(source_id):
+            self._route_intra(
+                source_id, cell, dest_kid, packet,
+                on_delivered, on_dropped,
+            )
+            return
+        now = self.network.sim.now
+        position = self.network.node(source_id).position(now)
+        candidates = self._ranked_members(source_id, cell, now, dest_kid)
+        if candidates:
+            self._enter_via_members(
+                source_id, candidates, cell, dest_kid, packet,
+                on_delivered, on_dropped,
+            )
+            return
+        # One wake-on-demand relay toward the nearest member.
+        nearest_member = min(
+            cell.member_ids,
+            key=lambda m: self.network.node(m).position(now).distance_to(
+                position
+            ),
+            default=None,
+        )
+        if nearest_member is None:
+            self._drop(packet, on_dropped)
+            return
+        target_pos = self.network.node(nearest_member).position(now)
+        relays = [
+            nb
+            for nb in self.network.neighbors(source_id)
+            if self.network.node(nb).is_sensor and not cell.holds(nb)
+        ]
+        if not relays:
+            self._drop(packet, on_dropped)
+            return
+        ordered = sorted(
+            relays,
+            key=lambda r: self.network.node(r).position(now).distance_to(
+                target_pos
+            ),
+        )[:3]
+        self.stats.entry_relays += 1
+        self._try_relays(
+            source_id, ordered, cell, dest_kid, packet,
+            on_delivered, on_dropped,
+        )
+
+    def _try_relays(
+        self,
+        source_id: int,
+        relays: List[int],
+        cell: EmbeddedCell,
+        dest_kid: KautzString,
+        packet: Packet,
+        on_delivered: Optional[DeliveredCallback],
+        on_dropped: Optional[DroppedCallback],
+    ) -> None:
+        relay, rest = relays[0], relays[1:]
+
+        def relay_arrived(pkt: Packet) -> None:
+            candidates2 = self._ranked_members(
+                relay, cell, self.network.sim.now, dest_kid
+            )
+            if not candidates2:
+                self._drop(pkt, on_dropped)
+                return
+            self._enter_via_members(
+                relay, candidates2, cell, dest_kid, pkt,
+                on_delivered, on_dropped,
+            )
+
+        def relay_failed(pkt: Packet, at: int) -> None:
+            if rest:
+                self._try_relays(
+                    source_id, rest, cell, dest_kid, pkt,
+                    on_delivered, on_dropped,
+                )
+            else:
+                self._drop(pkt, on_dropped)
+
+        self.network.send(
+            source_id,
+            relay,
+            packet,
+            on_delivered=relay_arrived,
+            on_failed=relay_failed,
+            deliver_to_handler=False,
+        )
+
+    def _ranked_members(
+        self,
+        node_id: int,
+        cell: EmbeddedCell,
+        now: float,
+        dest_kid: Optional[KautzString] = None,
+    ) -> List[int]:
+        """In-range cell members, best entry first.
+
+        Preference order: fewest remaining Kautz hops to the
+        destination KID (the "lowest delay path" rule of Section
+        III-C2), then physical proximity.
+        """
+        position = self.network.node(node_id).position(now)
+        reachable = [
+            m
+            for m in cell.member_ids
+            if self.network.medium.can_transmit(node_id, m, now)
+        ]
+
+        def rank(member: int):
+            remaining = 0
+            if dest_kid is not None:
+                remaining = kautz_distance(cell.kid_of(member), dest_kid)
+            distance = self.network.node(member).position(now).distance_to(
+                position
+            )
+            return (remaining, distance)
+
+        return sorted(reachable, key=rank)
+
+    def _enter_via_members(
+        self,
+        from_id: int,
+        candidates: List[int],
+        cell: EmbeddedCell,
+        dest_kid: KautzString,
+        packet: Packet,
+        on_delivered: Optional[DeliveredCallback],
+        on_dropped: Optional[DroppedCallback],
+    ) -> None:
+        """Hand off to the first entry member that accepts the packet."""
+        member, rest = candidates[0], candidates[1:]
+
+        def entry_failed(pkt: Packet, at: int) -> None:
+            if rest:
+                self._enter_via_members(
+                    from_id, rest, cell, dest_kid, pkt,
+                    on_delivered, on_dropped,
+                )
+            else:
+                self._drop(pkt, on_dropped)
+
+        self._hop_then_route(
+            from_id, member, cell, dest_kid, packet,
+            on_delivered, on_dropped, on_entry_failed=entry_failed,
+        )
+
+    def _hop_then_route(
+        self,
+        from_id: int,
+        member_id: int,
+        cell: EmbeddedCell,
+        dest_kid: KautzString,
+        packet: Packet,
+        on_delivered: Optional[DeliveredCallback],
+        on_dropped: Optional[DroppedCallback],
+        on_entry_failed=None,
+    ) -> None:
+        is_final = cell.kid_of(member_id) == dest_kid
+
+        def arrived(pkt: Packet) -> None:
+            if is_final:
+                if on_delivered is not None:
+                    on_delivered(pkt)
+            else:
+                self._route_intra(
+                    member_id, cell, dest_kid, pkt,
+                    on_delivered, on_dropped,
+                )
+
+        if on_entry_failed is None:
+            def on_entry_failed(pkt, at):
+                self._drop(pkt, on_dropped)
+
+        self.network.send(
+            from_id,
+            member_id,
+            packet,
+            on_delivered=arrived,
+            on_failed=on_entry_failed,
+            deliver_to_handler=is_final,
+        )
+
+    # ------------------------------------------------------------------
+    # intra-cell Kautz routing (Theorem 3.8)
+    # ------------------------------------------------------------------
+
+    def _route_intra(
+        self,
+        at_node: int,
+        cell: EmbeddedCell,
+        dest_kid: KautzString,
+        packet: Packet,
+        on_delivered: Optional[DeliveredCallback],
+        on_dropped: Optional[DroppedCallback],
+        visited: Optional[Set[KautzString]] = None,
+        hops_left: Optional[int] = None,
+    ) -> None:
+        self.stats.intra_messages += 1
+        if not cell.holds(at_node):
+            # The relay was replaced while the packet was in flight
+            # (maintenance raced the forwarding); the new holder will
+            # be used on retransmission — this copy is lost.
+            self._drop(packet, on_dropped)
+            return
+        kid = cell.kid_of(at_node)
+        if visited is None:
+            visited = {kid}
+        if hops_left is None:
+            hops_left = self._max_hops
+        if kid == dest_kid:
+            if on_delivered is not None:
+                on_delivered(packet)
+            return
+        if hops_left <= 0:
+            self._drop(packet, on_dropped)
+            return
+        candidates = [
+            row.successor
+            for row in successor_table(kid, dest_kid)
+            if row.successor not in visited and cell.kid_assigned(row.successor)
+        ]
+        # Congestion avoidance (Section III-C2): a successor whose
+        # radio is backlogged is deprioritised in favour of the next
+        # disjoint path; it stays in the list as a last resort.
+        now = self.network.sim.now
+        clear, congested = [], []
+        for succ in candidates:
+            node = self.network.node(cell.node_of(succ))
+            backlog = node.radio_busy_until - now
+            if backlog > self._congestion_threshold:
+                congested.append(succ)
+            else:
+                clear.append(succ)
+        if congested and clear:
+            self.stats.congestion_detours += len(congested)
+        ranked = clear + congested
+        self._try_successors(
+            at_node, cell, dest_kid, ranked, 0, packet,
+            on_delivered, on_dropped, visited, hops_left,
+        )
+
+    def _try_successors(
+        self,
+        at_node: int,
+        cell: EmbeddedCell,
+        dest_kid: KautzString,
+        ranked: List[KautzString],
+        index: int,
+        packet: Packet,
+        on_delivered: Optional[DeliveredCallback],
+        on_dropped: Optional[DroppedCallback],
+        visited: Set[KautzString],
+        hops_left: int,
+    ) -> None:
+        if index >= len(ranked):
+            # All d successors exhausted (possible only while
+            # maintenance is still repairing multiple broken vertices).
+            # Physical links are bidirectional, so fall back to any
+            # unvisited in-range member closest in Kautz distance —
+            # the "lowest delay, possibly multi-hop" rule.
+            now = self.network.sim.now
+            fallback = [
+                m
+                for m in self._ranked_members(at_node, cell, now, dest_kid)
+                if cell.kid_of(m) not in visited and m != at_node
+            ]
+            if not fallback or hops_left <= 0:
+                self._drop(packet, on_dropped)
+                return
+            member = fallback[0]
+            member_kid = cell.kid_of(member)
+            is_dest = member_kid == dest_kid
+
+            def fb_arrived(pkt: Packet) -> None:
+                if is_dest:
+                    if on_delivered is not None:
+                        on_delivered(pkt)
+                else:
+                    self._route_intra(
+                        member, cell, dest_kid, pkt,
+                        on_delivered, on_dropped,
+                        visited | {member_kid}, hops_left - 1,
+                    )
+
+            self.network.send(
+                at_node,
+                member,
+                packet,
+                on_delivered=fb_arrived,
+                on_failed=lambda pkt, at: self._drop(pkt, on_dropped),
+                deliver_to_handler=is_dest,
+            )
+            return
+        succ_kid = ranked[index]
+        succ_node = cell.node_of(succ_kid)
+        if index > 0:
+            self.stats.detours += 1
+        is_final = succ_kid == dest_kid
+
+        def arrived(pkt: Packet) -> None:
+            if is_final:
+                if on_delivered is not None:
+                    on_delivered(pkt)
+                return
+            self._route_intra(
+                succ_node, cell, dest_kid, pkt,
+                on_delivered, on_dropped,
+                visited | {succ_kid}, hops_left - 1,
+            )
+
+        def failed(pkt: Packet, at: int) -> None:
+            # Local recovery: same relay, next-shortest disjoint path.
+            self._try_successors(
+                at_node, cell, dest_kid, ranked, index + 1, pkt,
+                on_delivered, on_dropped, visited, hops_left,
+            )
+
+        self.network.send(
+            at_node,
+            succ_node,
+            packet,
+            on_delivered=arrived,
+            on_failed=failed,
+            deliver_to_handler=is_final,
+        )
+
+    # ------------------------------------------------------------------
+    # inter-cell actuator tier (CAN greedy)
+    # ------------------------------------------------------------------
+
+    def _route_tier(
+        self,
+        actuator_id: int,
+        dest: ReferId,
+        packet: Packet,
+        on_delivered: Optional[DeliveredCallback],
+        on_dropped: Optional[DroppedCallback],
+        visited: Optional[Set[int]] = None,
+    ) -> None:
+        dest_cell = self.cells[dest.cid]
+        if dest_cell.holds(actuator_id):
+            # Arrived in the destination cell: finish intra-cell.
+            self._route_intra(
+                actuator_id, dest_cell, dest.kid, packet,
+                on_delivered, on_dropped,
+            )
+            return
+        if visited is None:
+            visited = {actuator_id}
+        now = self.network.sim.now
+        nxt = self._next_tier_actuator(actuator_id, dest, visited, now)
+        if nxt is None:
+            self._drop(packet, on_dropped)
+            return
+
+        def arrived(pkt: Packet) -> None:
+            self._route_tier(
+                nxt, dest, pkt, on_delivered, on_dropped,
+                visited | {nxt},
+            )
+
+        self.network.send(
+            actuator_id,
+            nxt,
+            packet,
+            on_delivered=arrived,
+            on_failed=lambda pkt, at: self._drop(pkt, on_dropped),
+            deliver_to_handler=False,
+        )
+
+    def _next_tier_actuator(
+        self,
+        actuator_id: int,
+        dest: ReferId,
+        visited: Set[int],
+        now: float,
+    ) -> Optional[int]:
+        """The next actuator hop toward ``dest``'s cell.
+
+        Primary rule: follow the CAN route through cell space — from a
+        cell this actuator belongs to, step to the next CAN zone and
+        hand over to an actuator of that cell in radio range.  When the
+        CAN step is not realisable (actuator failed, geometry moved),
+        fall back to greedy "CID closest to destination" over reachable
+        actuators, exactly the forwarding rule of Section III-B3.
+        """
+        dest_point = self._cell_points[dest.cid]
+        reachable = [
+            a
+            for a in range(self.plan.actuator_count)
+            if a != actuator_id
+            and a not in visited
+            and self.network.medium.can_transmit(actuator_id, a, now)
+        ]
+        if not reachable:
+            return None
+        for cell in self._actuator_cells(actuator_id):
+            try:
+                can_path = self.can.route(cell.cid, dest_point)
+            except Exception:
+                continue
+            if len(can_path) < 2:
+                continue
+            next_cell = self.cells[can_path[1]]
+            candidates = [
+                a for a in reachable if next_cell.holds(a)
+            ]
+            if candidates:
+                return min(candidates)
+        # Fallback: greedy over cell-space distance of the candidate's
+        # cells to the destination CID.
+        def cid_distance(actuator: int) -> float:
+            points = [
+                self._cell_points[cell.cid]
+                for cell in self._actuator_cells(actuator)
+            ]
+            if not points:
+                return float("inf")
+            dx, dy = dest_point
+            return min(
+                ((x - dx) ** 2 + (y - dy) ** 2) ** 0.5 for x, y in points
+            )
+
+        return min(reachable, key=cid_distance)
+
+    # ------------------------------------------------------------------
+
+    def _drop(
+        self, packet: Packet, on_dropped: Optional[DroppedCallback]
+    ) -> None:
+        self.stats.drops += 1
+        if on_dropped is not None:
+            on_dropped(packet)

@@ -1,0 +1,40 @@
+"""Experiment harness: scenario config, workload, metrics, runner, figures."""
+
+from repro.experiments.config import FaultConfig, ScenarioConfig
+from repro.experiments.metrics import MetricsCollector
+from repro.experiments.runner import SYSTEMS, RunResult, run_scenario
+from repro.experiments.workload import CbrWorkload
+from repro.experiments.figures import (
+    FigureData,
+    SeriesPoint,
+    fig4_throughput_vs_mobility,
+    fig5_energy_vs_mobility,
+    fig6_delay_vs_faults,
+    fig7_throughput_vs_faults,
+    fig8_delay_vs_size,
+    fig9_energy_vs_size,
+    fig10_construction_energy_vs_size,
+    fig11_total_energy_vs_size,
+)
+from repro.experiments.report import format_figure
+
+__all__ = [
+    "FaultConfig",
+    "ScenarioConfig",
+    "MetricsCollector",
+    "SYSTEMS",
+    "RunResult",
+    "run_scenario",
+    "CbrWorkload",
+    "FigureData",
+    "SeriesPoint",
+    "fig4_throughput_vs_mobility",
+    "fig5_energy_vs_mobility",
+    "fig6_delay_vs_faults",
+    "fig7_throughput_vs_faults",
+    "fig8_delay_vs_size",
+    "fig9_energy_vs_size",
+    "fig10_construction_energy_vs_size",
+    "fig11_total_energy_vs_size",
+    "format_figure",
+]

@@ -1,0 +1,145 @@
+"""Command-line figure regeneration.
+
+Examples::
+
+    python -m repro.experiments fig4
+    python -m repro.experiments fig9 --seeds 3 --sim-time 60
+    python -m repro.experiments run REFER --sensors 300 --speed 4
+
+``fig4`` .. ``fig11`` regenerate one evaluation figure and print the
+series table; ``run`` executes a single scenario for one system and
+prints its metrics.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict
+
+from repro.experiments import (
+    ScenarioConfig,
+    fig4_throughput_vs_mobility,
+    fig5_energy_vs_mobility,
+    fig6_delay_vs_faults,
+    fig7_throughput_vs_faults,
+    fig8_delay_vs_size,
+    fig9_energy_vs_size,
+    fig10_construction_energy_vs_size,
+    fig11_total_energy_vs_size,
+    format_figure,
+    run_scenario,
+)
+from repro.experiments.config import FaultConfig
+from repro.experiments.runner import SYSTEMS
+
+FIGURES: Dict[str, Callable] = {
+    "fig4": fig4_throughput_vs_mobility,
+    "fig5": fig5_energy_vs_mobility,
+    "fig6": fig6_delay_vs_faults,
+    "fig7": fig7_throughput_vs_faults,
+    "fig8": fig8_delay_vs_size,
+    "fig9": fig9_energy_vs_size,
+    "fig10": fig10_construction_energy_vs_size,
+    "fig11": fig11_total_energy_vs_size,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Regenerate REFER evaluation figures or run one scenario.",
+    )
+    parser.add_argument(
+        "command",
+        choices=sorted(FIGURES) + ["run", "campaign"],
+        help="figure to regenerate, 'run' for a single scenario, or "
+        "'campaign' for the full evaluation as a markdown report",
+    )
+    parser.add_argument(
+        "system",
+        nargs="?",
+        choices=sorted(SYSTEMS),
+        help="system name (only with 'run')",
+    )
+    parser.add_argument("--seeds", type=int, default=2)
+    parser.add_argument("--sim-time", type=float, default=30.0)
+    parser.add_argument("--rate", type=float, default=12.0)
+    parser.add_argument("--sensors", type=int, default=200)
+    parser.add_argument("--speed", type=float, default=3.0)
+    parser.add_argument("--faults", type=int, default=0)
+    parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument(
+        "--points",
+        type=float,
+        nargs="+",
+        help="override the figure's x-axis sweep values "
+        "(speeds for fig4/5, fault counts for fig6/7, sizes for fig8-11)",
+    )
+    return parser
+
+
+_SWEEP_KEYWORD = {
+    "fig4": "speeds",
+    "fig5": "speeds",
+    "fig6": "fault_counts",
+    "fig7": "fault_counts",
+    "fig8": "sizes",
+    "fig9": "sizes",
+    "fig10": "sizes",
+    "fig11": "sizes",
+}
+
+
+def base_config(args: argparse.Namespace) -> ScenarioConfig:
+    return ScenarioConfig(
+        sim_time=args.sim_time,
+        warmup=max(2.0, args.sim_time / 10.0),
+        rate_pps=args.rate,
+        sensor_count=args.sensors,
+        sensor_max_speed=args.speed,
+        seed=args.seed,
+        faults=FaultConfig(count=args.faults) if args.faults else None,
+    )
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "campaign":
+        from repro.experiments.campaign import campaign_report, run_campaign
+
+        result = run_campaign(base_config(args), seeds=args.seeds)
+        print(campaign_report(result))
+        return 0
+    if args.command == "run":
+        if args.system is None:
+            print("error: 'run' needs a system name", file=sys.stderr)
+            return 2
+        result = run_scenario(args.system, base_config(args))
+        print(f"system              : {result.system}")
+        print(f"throughput          : {result.throughput_bps / 1000:.1f} kbit/s")
+        print(f"mean delay          : {1000 * result.mean_delay_s:.2f} ms")
+        print(f"communication energy: {result.comm_energy_j:.0f} J")
+        print(f"construction energy : {result.construction_energy_j:.0f} J")
+        print(
+            f"delivered (QoS)     : {result.delivered_qos}/{result.generated}"
+            f"  (dropped {result.dropped})"
+        )
+        return 0
+    kwargs = {}
+    if args.points:
+        keyword = _SWEEP_KEYWORD[args.command]
+        values = [
+            int(p) if keyword in ("sizes", "fault_counts") else p
+            for p in args.points
+        ]
+        kwargs[keyword] = tuple(values)
+    data = FIGURES[args.command](
+        base_config(args), seeds=args.seeds, **kwargs
+    )
+    print(format_figure(data))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,100 @@
+"""Full-evaluation campaigns: regenerate every figure in one call.
+
+:func:`run_campaign` sweeps all eight evaluation figures (optionally a
+subset) and returns a :class:`CampaignResult`;
+:func:`campaign_report` renders it as a self-contained markdown
+document — the machinery behind ``EXPERIMENTS.md``-style write-ups::
+
+    from repro.experiments.campaign import run_campaign, campaign_report
+    result = run_campaign(ScenarioConfig(sim_time=30), seeds=2)
+    pathlib.Path("report.md").write_text(campaign_report(result))
+
+Thanks to the runner's memoisation, figures that share sweep points
+(Figs 8-11 all sweep network size) are computed once.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.errors import ConfigError
+from repro.experiments.config import ScenarioConfig
+from repro.experiments.figures import (
+    FigureData,
+    fig4_throughput_vs_mobility,
+    fig5_energy_vs_mobility,
+    fig6_delay_vs_faults,
+    fig7_throughput_vs_faults,
+    fig8_delay_vs_size,
+    fig9_energy_vs_size,
+    fig10_construction_energy_vs_size,
+    fig11_total_energy_vs_size,
+)
+from repro.experiments.report import format_figure
+
+FIGURE_FUNCTIONS: Dict[str, Callable] = {
+    "fig4": fig4_throughput_vs_mobility,
+    "fig5": fig5_energy_vs_mobility,
+    "fig6": fig6_delay_vs_faults,
+    "fig7": fig7_throughput_vs_faults,
+    "fig8": fig8_delay_vs_size,
+    "fig9": fig9_energy_vs_size,
+    "fig10": fig10_construction_energy_vs_size,
+    "fig11": fig11_total_energy_vs_size,
+}
+
+
+@dataclass
+class CampaignResult:
+    """All regenerated figures of one campaign."""
+
+    base: ScenarioConfig
+    seeds: int
+    figures: Dict[str, FigureData] = field(default_factory=dict)
+
+    def __getitem__(self, name: str) -> FigureData:
+        return self.figures[name]
+
+    def names(self) -> List[str]:
+        return list(self.figures)
+
+
+def run_campaign(
+    base: ScenarioConfig = ScenarioConfig(),
+    seeds: int = 2,
+    figures: Optional[Sequence[str]] = None,
+) -> CampaignResult:
+    """Regenerate the selected figures (default: all of Figs 4-11)."""
+    if seeds < 1:
+        raise ConfigError("seeds must be >= 1")
+    selected = list(figures) if figures is not None else list(FIGURE_FUNCTIONS)
+    unknown = [name for name in selected if name not in FIGURE_FUNCTIONS]
+    if unknown:
+        raise ConfigError(f"unknown figures: {unknown}")
+    result = CampaignResult(base=base, seeds=seeds)
+    for name in selected:
+        result.figures[name] = FIGURE_FUNCTIONS[name](base, seeds=seeds)
+    return result
+
+
+def campaign_report(result: CampaignResult) -> str:
+    """A markdown report with one section and table per figure."""
+    base = result.base
+    lines = [
+        "# REFER evaluation campaign",
+        "",
+        "Regenerated with "
+        f"`sim_time={base.sim_time:g}s`, `warmup={base.warmup:g}s`, "
+        f"`rate={base.rate_pps:g} pkt/s/source`, "
+        f"`{base.sensor_count} sensors`, `seeds={result.seeds}`.",
+        "",
+    ]
+    for name, data in result.figures.items():
+        lines.append(f"## {data.figure} — {data.title}")
+        lines.append("")
+        lines.append("```")
+        lines.append(format_figure(data))
+        lines.append("```")
+        lines.append("")
+    return "\n".join(lines)

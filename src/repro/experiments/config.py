@@ -1,0 +1,69 @@
+"""Scenario configuration (Section IV defaults).
+
+The paper's setup: a 500 m x 500 m area, 5 actuators, 200 sensors,
+sensor/actuator transmission ranges 100 m / 250 m, K(2, 3) cells,
+random-waypoint speeds in [0, 3] m/s, 5 sources re-chosen every 10 s
+at 1 Mbps, 100 s warm-up + 1000 s of simulation, QoS deadline 0.6 s.
+
+The default data rate here is expressed in packets/second of 1 KB
+packets and scaled down so a full 4-system sweep runs on a laptop;
+EXPERIMENTS.md documents the scaling.  Benches override the knobs
+from environment variables.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+from repro.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class FaultConfig:
+    """Fault injection: ``count`` nodes break every ``period`` seconds."""
+
+    count: int
+    period: float = 10.0
+
+    def __post_init__(self) -> None:
+        if self.count < 0 or self.period <= 0:
+            raise ConfigError("invalid fault configuration")
+
+
+@dataclass(frozen=True)
+class ScenarioConfig:
+    """Everything one simulation run depends on."""
+
+    seed: int = 1
+    sensor_count: int = 200
+    area_side: float = 500.0
+    sensor_range: float = 100.0
+    actuator_range: float = 250.0
+    sensor_max_speed: float = 3.0
+    sim_time: float = 120.0          # measured seconds (paper: 1000)
+    warmup: float = 12.0             # paper: 100
+    rate_pps: float = 12.0           # packets/s per source (paper: ~125)
+    packet_bytes: int = 1000
+    sources_per_window: int = 5
+    source_window: float = 10.0
+    qos_deadline: float = 0.6
+    faults: Optional[FaultConfig] = None
+    kautz_degree: int = 2            # REFER cell K(d, 3)
+
+    def __post_init__(self) -> None:
+        if self.sensor_count < 12:
+            raise ConfigError("need at least 12 sensors to embed K(2,3)")
+        if self.sim_time <= 0 or self.warmup < 0:
+            raise ConfigError("invalid time configuration")
+        if self.rate_pps <= 0 or self.packet_bytes <= 0:
+            raise ConfigError("invalid traffic configuration")
+
+    @property
+    def end_time(self) -> float:
+        """When packet generation stops (drain margin excluded)."""
+        return self.warmup + self.sim_time
+
+    def with_(self, **overrides) -> "ScenarioConfig":
+        """A modified copy (sweep helper)."""
+        return replace(self, **overrides)

@@ -1,0 +1,254 @@
+"""Figure regeneration: one function per evaluation figure (Figs 4-11).
+
+Each function sweeps the paper's x-axis, runs every system ``seeds``
+times per point, and returns a :class:`FigureData` with per-point mean
+and 95% confidence half-width — the same series the paper plots.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Sequence
+
+from repro.experiments.config import FaultConfig, ScenarioConfig
+from repro.experiments.runner import RunResult, run_scenario_cached
+from repro.util.stats import confidence_interval_95
+
+ALL_SYSTEMS = ("REFER", "DaTree", "D-DEAR", "Kautz-overlay")
+
+DEFAULT_MOBILITY_SPEEDS = (0.5, 1.0, 2.0, 3.0, 4.0, 5.0)   # max speeds; avg = x/2
+DEFAULT_FAULT_COUNTS = (2, 4, 6, 8, 10)
+DEFAULT_NETWORK_SIZES = (100, 200, 300, 400)
+
+
+@dataclass(frozen=True)
+class SeriesPoint:
+    x: float
+    mean: float
+    ci95: float
+    samples: int
+
+
+@dataclass
+class FigureData:
+    """One regenerated figure: labelled series of (x, mean, ci)."""
+
+    figure: str
+    title: str
+    xlabel: str
+    ylabel: str
+    series: Dict[str, List[SeriesPoint]] = field(default_factory=dict)
+
+    def value_at(self, system: str, x: float) -> float:
+        for point in self.series[system]:
+            if point.x == x:
+                return point.mean
+        raise KeyError(f"no point at x={x} for {system}")
+
+    def xs(self) -> List[float]:
+        first = next(iter(self.series.values()))
+        return [p.x for p in first]
+
+
+def _sweep(
+    figure: str,
+    title: str,
+    xlabel: str,
+    ylabel: str,
+    x_values: Sequence[float],
+    make_config: Callable[[float, int], ScenarioConfig],
+    metric: Callable[[RunResult], float],
+    systems: Sequence[str],
+    seeds: int,
+) -> FigureData:
+    data = FigureData(figure=figure, title=title, xlabel=xlabel, ylabel=ylabel)
+    for system in systems:
+        points: List[SeriesPoint] = []
+        for x in x_values:
+            values = [
+                metric(run_scenario_cached(system, make_config(x, seed)))
+                for seed in range(1, seeds + 1)
+            ]
+            mean, ci = confidence_interval_95(values)
+            points.append(SeriesPoint(x=x, mean=mean, ci95=ci, samples=seeds))
+        data.series[system] = points
+    return data
+
+
+# ---------------------------------------------------------------------------
+# Mobility resilience (Section IV-A)
+# ---------------------------------------------------------------------------
+
+
+def fig4_throughput_vs_mobility(
+    base: ScenarioConfig = ScenarioConfig(),
+    speeds: Sequence[float] = DEFAULT_MOBILITY_SPEEDS,
+    systems: Sequence[str] = ALL_SYSTEMS,
+    seeds: int = 3,
+) -> FigureData:
+    """Fig 4: throughput vs average node mobility (x/2 m/s)."""
+    return _sweep(
+        "Fig 4",
+        "Throughput vs node mobility",
+        "max speed (m/s); paper plots avg = x/2",
+        "QoS throughput (bit/s)",
+        speeds,
+        lambda x, seed: base.with_(sensor_max_speed=x, seed=seed),
+        lambda r: r.throughput_bps,
+        systems,
+        seeds,
+    )
+
+
+def fig5_energy_vs_mobility(
+    base: ScenarioConfig = ScenarioConfig(),
+    speeds: Sequence[float] = DEFAULT_MOBILITY_SPEEDS,
+    systems: Sequence[str] = ALL_SYSTEMS,
+    seeds: int = 3,
+) -> FigureData:
+    """Fig 5: energy consumed in communication vs node mobility."""
+    return _sweep(
+        "Fig 5",
+        "Communication energy vs node mobility",
+        "max speed (m/s); paper plots avg = x/2",
+        "energy (J)",
+        speeds,
+        lambda x, seed: base.with_(sensor_max_speed=x, seed=seed),
+        lambda r: r.comm_energy_j,
+        systems,
+        seeds,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Fault-tolerant routing (Section IV-B)
+# ---------------------------------------------------------------------------
+
+
+def fig6_delay_vs_faults(
+    base: ScenarioConfig = ScenarioConfig(),
+    fault_counts: Sequence[int] = DEFAULT_FAULT_COUNTS,
+    systems: Sequence[str] = ALL_SYSTEMS,
+    seeds: int = 3,
+) -> FigureData:
+    """Fig 6: average transmission delay vs number of faulty nodes."""
+    return _sweep(
+        "Fig 6",
+        "Delay vs number of faulty nodes",
+        "faulty nodes",
+        "mean delay (s)",
+        fault_counts,
+        lambda x, seed: base.with_(
+            faults=FaultConfig(count=int(x)), seed=seed
+        ),
+        lambda r: r.mean_delay_s,
+        systems,
+        seeds,
+    )
+
+
+def fig7_throughput_vs_faults(
+    base: ScenarioConfig = ScenarioConfig(),
+    fault_counts: Sequence[int] = DEFAULT_FAULT_COUNTS,
+    systems: Sequence[str] = ALL_SYSTEMS,
+    seeds: int = 3,
+) -> FigureData:
+    """Fig 7: throughput vs number of faulty nodes."""
+    return _sweep(
+        "Fig 7",
+        "Throughput vs number of faulty nodes",
+        "faulty nodes",
+        "QoS throughput (bit/s)",
+        fault_counts,
+        lambda x, seed: base.with_(
+            faults=FaultConfig(count=int(x)), seed=seed
+        ),
+        lambda r: r.throughput_bps,
+        systems,
+        seeds,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Real-time transmission and scalability (Sections IV-C, IV-D)
+# ---------------------------------------------------------------------------
+
+
+def fig8_delay_vs_size(
+    base: ScenarioConfig = ScenarioConfig(),
+    sizes: Sequence[int] = DEFAULT_NETWORK_SIZES,
+    systems: Sequence[str] = ALL_SYSTEMS,
+    seeds: int = 3,
+) -> FigureData:
+    """Fig 8: delay vs network size (number of sensors)."""
+    return _sweep(
+        "Fig 8",
+        "Delay vs network size",
+        "sensors",
+        "mean delay (s)",
+        sizes,
+        lambda x, seed: base.with_(sensor_count=int(x), seed=seed),
+        lambda r: r.mean_delay_s,
+        systems,
+        seeds,
+    )
+
+
+def fig9_energy_vs_size(
+    base: ScenarioConfig = ScenarioConfig(),
+    sizes: Sequence[int] = DEFAULT_NETWORK_SIZES,
+    systems: Sequence[str] = ALL_SYSTEMS,
+    seeds: int = 3,
+) -> FigureData:
+    """Fig 9: energy consumed in communication vs network size."""
+    return _sweep(
+        "Fig 9",
+        "Communication energy vs network size",
+        "sensors",
+        "energy (J)",
+        sizes,
+        lambda x, seed: base.with_(sensor_count=int(x), seed=seed),
+        lambda r: r.comm_energy_j,
+        systems,
+        seeds,
+    )
+
+
+def fig10_construction_energy_vs_size(
+    base: ScenarioConfig = ScenarioConfig(),
+    sizes: Sequence[int] = DEFAULT_NETWORK_SIZES,
+    systems: Sequence[str] = ALL_SYSTEMS,
+    seeds: int = 3,
+) -> FigureData:
+    """Fig 10: energy consumed in topology construction vs network size."""
+    return _sweep(
+        "Fig 10",
+        "Topology-construction energy vs network size",
+        "sensors",
+        "energy (J)",
+        sizes,
+        lambda x, seed: base.with_(sensor_count=int(x), seed=seed),
+        lambda r: r.construction_energy_j,
+        systems,
+        seeds,
+    )
+
+
+def fig11_total_energy_vs_size(
+    base: ScenarioConfig = ScenarioConfig(),
+    sizes: Sequence[int] = DEFAULT_NETWORK_SIZES,
+    systems: Sequence[str] = ALL_SYSTEMS,
+    seeds: int = 3,
+) -> FigureData:
+    """Fig 11: total energy (communication + construction) vs size."""
+    return _sweep(
+        "Fig 11",
+        "Total energy vs network size",
+        "sensors",
+        "energy (J)",
+        sizes,
+        lambda x, seed: base.with_(sensor_count=int(x), seed=seed),
+        lambda r: r.total_energy_j,
+        systems,
+        seeds,
+    )

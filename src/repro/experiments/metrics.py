@@ -1,0 +1,77 @@
+"""Run metrics (Section IV).
+
+* **Throughput** — bytes of QoS-guaranteed data (delivered within the
+  0.6 s deadline) received by actuators per measured second.
+* **Delay** — mean latency of the QoS-guaranteed packets.
+* **Energy** — read from the network's phase-split ledger by the
+  runner, not collected here.
+
+Only packets *created* after the warm-up window count.
+"""
+
+from __future__ import annotations
+
+from repro.net.packet import Packet
+from repro.sim.core import Simulator
+from repro.util.stats import RunningStat
+
+
+class MetricsCollector:
+    """Counts generated/delivered/dropped packets and QoS latencies."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        qos_deadline: float,
+        warmup_end: float,
+    ) -> None:
+        self._sim = sim
+        self._qos_deadline = qos_deadline
+        self._warmup_end = warmup_end
+        self.generated = 0
+        self.delivered_total = 0
+        self.delivered_qos = 0
+        self.dropped = 0
+        self.qos_bytes = 0
+        self.delay = RunningStat()
+        self.all_delay = RunningStat()
+
+    def _measured(self, packet: Packet) -> bool:
+        return packet.created_at >= self._warmup_end
+
+    def on_generated(self, packet: Packet) -> None:
+        if self._measured(packet):
+            self.generated += 1
+
+    def on_delivered(self, packet: Packet) -> None:
+        if not self._measured(packet):
+            return
+        latency = packet.latency(self._sim.now)
+        self.delivered_total += 1
+        self.all_delay.add(latency)
+        if latency <= self._qos_deadline:
+            self.delivered_qos += 1
+            self.qos_bytes += packet.size_bytes
+            self.delay.add(latency)
+
+    def on_dropped(self, packet: Packet) -> None:
+        if self._measured(packet):
+            self.dropped += 1
+
+    # -- summaries ----------------------------------------------------------
+
+    def throughput_bps(self, measured_seconds: float) -> float:
+        """QoS-guaranteed bits per second over the measured window."""
+        if measured_seconds <= 0:
+            raise ValueError("measured_seconds must be positive")
+        return self.qos_bytes * 8.0 / measured_seconds
+
+    @property
+    def mean_delay(self) -> float:
+        return self.delay.mean
+
+    @property
+    def delivery_ratio(self) -> float:
+        if self.generated == 0:
+            return 0.0
+        return self.delivered_qos / self.generated

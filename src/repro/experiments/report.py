@@ -1,0 +1,49 @@
+"""Plain-text rendering of regenerated figures.
+
+Benchmarks print these tables so the rows the paper plots can be read
+directly off the bench output.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.experiments.figures import FigureData
+
+
+def _fmt(value: float) -> str:
+    if value == 0:
+        return "0"
+    if abs(value) >= 1000:
+        return f"{value:,.0f}"
+    if abs(value) >= 1:
+        return f"{value:.2f}"
+    return f"{value:.4f}"
+
+
+def format_figure(data: FigureData) -> str:
+    """A fixed-width table: one row per x value, one column per system."""
+    systems = list(data.series)
+    header = [data.xlabel] + systems
+    rows: List[List[str]] = []
+    for x in data.xs():
+        row = [_fmt(x)]
+        for system in systems:
+            point = next(p for p in data.series[system] if p.x == x)
+            cell = _fmt(point.mean)
+            if point.ci95 > 0:
+                cell += f" ±{_fmt(point.ci95)}"
+            row.append(cell)
+        rows.append(row)
+    widths = [
+        max(len(header[i]), *(len(r[i]) for r in rows))
+        for i in range(len(header))
+    ]
+    lines = [
+        f"{data.figure}: {data.title}   [{data.ylabel}]",
+        "  ".join(h.ljust(w) for h, w in zip(header, widths)),
+        "  ".join("-" * w for w in widths),
+    ]
+    for row in rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)

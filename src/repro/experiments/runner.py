@@ -1,0 +1,170 @@
+"""The single-run driver: build a world, run a system, report metrics.
+
+One :func:`run_scenario` call reproduces one point of one figure: it
+instantiates the simulator, network, deployment and the requested
+system, runs construction (CONSTRUCTION ledger), starts protocols,
+fault injection and workload, simulates warm-up + measurement, and
+returns a :class:`RunResult`.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional, Type
+
+from repro.baselines import DaTreeSystem, DDearSystem, KautzOverlaySystem
+from repro.core.system import ReferSystem
+from repro.errors import ConfigError
+from repro.experiments.config import ScenarioConfig
+from repro.experiments.metrics import MetricsCollector
+from repro.experiments.workload import CbrWorkload
+from repro.net.energy import Phase
+from repro.net.failure import FaultInjector
+from repro.net.network import WirelessNetwork
+from repro.sim.core import Simulator
+from repro.util.rng import RngStreams
+from repro.wsan.deployment import plan_deployment
+from repro.wsan.system import WsanSystem, build_nodes
+
+SYSTEMS: Dict[str, Type[WsanSystem]] = {
+    "REFER": ReferSystem,
+    "DaTree": DaTreeSystem,
+    "D-DEAR": DDearSystem,
+    "Kautz-overlay": KautzOverlaySystem,
+}
+
+DRAIN_MARGIN = 2.0   # seconds past generation end for in-flight packets
+
+
+@dataclass(frozen=True)
+class RunResult:
+    """Everything the figures need from one run."""
+
+    system: str
+    config: ScenarioConfig
+    throughput_bps: float
+    mean_delay_s: float
+    comm_energy_j: float
+    construction_energy_j: float
+    generated: int
+    delivered_qos: int
+    delivered_total: int
+    dropped: int
+
+    @property
+    def total_energy_j(self) -> float:
+        return self.comm_energy_j + self.construction_energy_j
+
+    @property
+    def delivery_ratio(self) -> float:
+        return self.delivered_qos / self.generated if self.generated else 0.0
+
+
+def run_scenario(system_name: str, config: ScenarioConfig) -> RunResult:
+    """Run one system once under one configuration."""
+    try:
+        system_cls = SYSTEMS[system_name]
+    except KeyError:
+        raise ConfigError(
+            f"unknown system {system_name!r}; choose from {sorted(SYSTEMS)}"
+        ) from None
+    streams = RngStreams(config.seed)
+    sim = Simulator()
+    network = WirelessNetwork(sim, streams.stream("mac"))
+    plan = plan_deployment(
+        config.sensor_count,
+        config.area_side,
+        streams.stream("deployment"),
+    )
+    build_nodes(
+        network,
+        plan,
+        streams.stream("mobility"),
+        sensor_range=config.sensor_range,
+        actuator_range=config.actuator_range,
+        sensor_max_speed=config.sensor_max_speed,
+    )
+    if system_cls is ReferSystem:
+        from repro.core.system import ReferConfig
+
+        system = ReferSystem(
+            network,
+            plan,
+            streams.stream("system"),
+            ReferConfig(degree=config.kautz_degree),
+        )
+    else:
+        system = system_cls(network, plan, streams.stream("system"))
+
+    network.set_phase(Phase.CONSTRUCTION)
+    system.build()
+    sim.run_until(sim.now)   # flush any same-time construction events
+
+    network.set_phase(Phase.COMMUNICATION)
+    system.start()
+
+    metrics = MetricsCollector(
+        sim, qos_deadline=config.qos_deadline, warmup_end=config.warmup
+    )
+    workload = CbrWorkload(
+        sim,
+        system,
+        metrics,
+        streams.stream("workload"),
+        rate_pps=config.rate_pps,
+        packet_bytes=config.packet_bytes,
+        qos_deadline=config.qos_deadline,
+        sources_per_window=config.sources_per_window,
+        source_window=config.source_window,
+    )
+    workload.start(0.0, config.end_time)
+
+    injector: Optional[FaultInjector] = None
+    if config.faults is not None:
+        fault_rng = streams.stream("faults")
+        count = config.faults.count
+        injector = FaultInjector(
+            network,
+            fault_rng,
+            count=lambda: count,
+            eligible=lambda: system.sensor_ids,
+            period=config.faults.period,
+        )
+        injector.start(initial_delay=config.faults.period / 2.0)
+
+    sim.run_until(config.end_time + DRAIN_MARGIN)
+    system.stop()
+    if injector is not None:
+        injector.stop()
+
+    return RunResult(
+        system=system.name,
+        config=config,
+        throughput_bps=metrics.throughput_bps(config.sim_time),
+        mean_delay_s=metrics.mean_delay,
+        comm_energy_j=network.energy.total(Phase.COMMUNICATION),
+        construction_energy_j=network.energy.total(Phase.CONSTRUCTION),
+        generated=metrics.generated,
+        delivered_qos=metrics.delivered_qos,
+        delivered_total=metrics.delivered_total,
+        dropped=metrics.dropped,
+    )
+
+
+_memo: Dict[tuple, RunResult] = {}
+
+
+def run_scenario_cached(system_name: str, config: ScenarioConfig) -> RunResult:
+    """Memoised :func:`run_scenario`.
+
+    Runs are deterministic in (system, config), so figure sweeps that
+    share points (Figs 8-11 all sweep network size over identical
+    configurations) pay for each run once per process.
+    """
+    key = (system_name, config)
+    result = _memo.get(key)
+    if result is None:
+        result = run_scenario(system_name, config)
+        _memo[key] = result
+    return result

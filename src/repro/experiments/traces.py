@@ -1,0 +1,257 @@
+"""Trace-driven event workloads.
+
+The paper's future work evaluates REFER "in the GENI real-world
+testbed using trace data"; without that testbed, this module provides
+the trace machinery: a simple on-disk trace format for spatial event
+streams, generators for realistic event processes, and a workload that
+replays a trace against any :class:`~repro.wsan.system.WsanSystem` —
+each trace event is detected by the sensors within sensing range of
+its location and reported to the actuators.
+
+Trace format (one event per line, ``#`` comments allowed)::
+
+    # time_s  x_m  y_m  [magnitude]
+    12.500  140.2  388.0  1.0
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, List, Optional, Sequence, TextIO, Union
+
+from repro.errors import ConfigError
+from repro.experiments.metrics import MetricsCollector
+from repro.net.packet import Packet, PacketKind
+from repro.sim.core import Simulator
+from repro.util.geometry import Point
+from repro.wsan.system import WsanSystem
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One spatial event: something happened at (x, y) at ``time``."""
+
+    time: float
+    x: float
+    y: float
+    magnitude: float = 1.0
+
+    @property
+    def position(self) -> Point:
+        return Point(self.x, self.y)
+
+
+@dataclass
+class EventTrace:
+    """An ordered sequence of trace events."""
+
+    events: List[TraceEvent] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        self.events.sort(key=lambda e: e.time)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self):
+        return iter(self.events)
+
+    @property
+    def duration(self) -> float:
+        return self.events[-1].time if self.events else 0.0
+
+    # -- persistence -------------------------------------------------------
+
+    def save(self, path: Union[str, Path]) -> None:
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write("# time_s  x_m  y_m  magnitude\n")
+            for e in self.events:
+                handle.write(
+                    f"{e.time:.6f} {e.x:.3f} {e.y:.3f} {e.magnitude:.4f}\n"
+                )
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "EventTrace":
+        events: List[TraceEvent] = []
+        with open(path, "r", encoding="utf-8") as handle:
+            for line_no, line in enumerate(handle, 1):
+                line = line.split("#", 1)[0].strip()
+                if not line:
+                    continue
+                parts = line.split()
+                if len(parts) not in (3, 4):
+                    raise ConfigError(
+                        f"{path}:{line_no}: expected 3-4 fields, got {len(parts)}"
+                    )
+                time, x, y = (float(p) for p in parts[:3])
+                magnitude = float(parts[3]) if len(parts) == 4 else 1.0
+                events.append(TraceEvent(time, x, y, magnitude))
+        return cls(events)
+
+
+# ---------------------------------------------------------------------------
+# generators
+# ---------------------------------------------------------------------------
+
+
+def poisson_trace(
+    rate_per_s: float,
+    duration: float,
+    area_side: float,
+    rng: random.Random,
+) -> EventTrace:
+    """Homogeneous Poisson events, uniform over the area."""
+    if rate_per_s <= 0 or duration <= 0:
+        raise ConfigError("rate and duration must be positive")
+    events = []
+    t = 0.0
+    while True:
+        t += rng.expovariate(rate_per_s)
+        if t >= duration:
+            break
+        events.append(
+            TraceEvent(
+                t,
+                rng.uniform(0, area_side),
+                rng.uniform(0, area_side),
+                rng.uniform(0.5, 1.5),
+            )
+        )
+    return EventTrace(events)
+
+
+def moving_target_trace(
+    duration: float,
+    area_side: float,
+    speed: float,
+    report_period: float,
+    rng: random.Random,
+) -> EventTrace:
+    """A target doing a random waypoint walk, sampled periodically."""
+    if report_period <= 0:
+        raise ConfigError("report_period must be positive")
+    position = Point(
+        rng.uniform(0, area_side), rng.uniform(0, area_side)
+    )
+    target = Point(rng.uniform(0, area_side), rng.uniform(0, area_side))
+    events = []
+    t = 0.0
+    while t < duration:
+        events.append(TraceEvent(t, position.x, position.y))
+        step = speed * report_period
+        if position.distance_to(target) <= step:
+            target = Point(
+                rng.uniform(0, area_side), rng.uniform(0, area_side)
+            )
+        position = position.toward(target, step)
+        t += report_period
+    return EventTrace(events)
+
+
+def burst_trace(
+    centers: Sequence[Point],
+    start: float,
+    burst_duration: float,
+    events_per_burst: int,
+    spread: float,
+    rng: random.Random,
+) -> EventTrace:
+    """Clustered bursts (e.g. chemical releases) around fixed centres."""
+    events = []
+    for i, center in enumerate(centers):
+        burst_start = start + i * burst_duration
+        for _ in range(events_per_burst):
+            events.append(
+                TraceEvent(
+                    burst_start + rng.uniform(0, burst_duration),
+                    center.x + rng.gauss(0, spread),
+                    center.y + rng.gauss(0, spread),
+                )
+            )
+    return EventTrace(events)
+
+
+# ---------------------------------------------------------------------------
+# replay
+# ---------------------------------------------------------------------------
+
+
+class TraceWorkload:
+    """Replays an :class:`EventTrace` against a WSAN system.
+
+    Each event is *detected* by up to ``max_detectors`` usable sensors
+    within ``sensing_range`` of its location; each detector reports to
+    its actuator via ``system.send_event``.  Undetected events (no
+    sensor in range) are counted — a coverage metric for sparse
+    deployments.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        system: WsanSystem,
+        metrics: MetricsCollector,
+        trace: EventTrace,
+        sensing_range: float = 60.0,
+        max_detectors: int = 3,
+        report_bytes: int = 512,
+        qos_deadline: float = 0.6,
+    ) -> None:
+        if sensing_range <= 0 or max_detectors < 1:
+            raise ConfigError("invalid trace workload parameters")
+        self._sim = sim
+        self._system = system
+        self._metrics = metrics
+        self._trace = trace
+        self._sensing_range = sensing_range
+        self._max_detectors = max_detectors
+        self._report_bytes = report_bytes
+        self._qos_deadline = qos_deadline
+        self.detected_events = 0
+        self.undetected_events = 0
+
+    def start(self) -> None:
+        for event in self._trace:
+            self._sim.schedule_at(event.time, lambda e=event: self._fire(e))
+
+    def coverage(self) -> float:
+        total = self.detected_events + self.undetected_events
+        return self.detected_events / total if total else 0.0
+
+    def _fire(self, event: TraceEvent) -> None:
+        now = self._sim.now
+        network = self._system.network
+        in_range = [
+            (network.node(s).position(now).distance_to(event.position), s)
+            for s in self._system.sensor_ids
+            if network.node(s).usable
+        ]
+        detectors = [
+            s
+            for distance, s in sorted(in_range)
+            if distance <= self._sensing_range
+        ][: self._max_detectors]
+        if not detectors:
+            self.undetected_events += 1
+            return
+        self.detected_events += 1
+        for sensor in detectors:
+            packet = Packet(
+                kind=PacketKind.DATA,
+                size_bytes=self._report_bytes,
+                source=sensor,
+                destination=None,
+                created_at=now,
+                deadline=self._qos_deadline,
+                meta={"event_time": event.time, "magnitude": event.magnitude},
+            )
+            self._metrics.on_generated(packet)
+            self._system.send_event(
+                sensor,
+                packet,
+                on_delivered=self._metrics.on_delivered,
+                on_dropped=self._metrics.on_dropped,
+            )

@@ -1,0 +1,32 @@
+"""Wireless network substrate: the ns-2 stand-in.
+
+Packet-level wireless simulation with range-based connectivity,
+CSMA-style contention, FIFO per-node radio queues, random-waypoint
+mobility, per-packet energy accounting (the paper's 2 J tx / 0.75 J rx
+constants) and fault injection.
+"""
+
+from repro.net.energy import EnergyLedger, EnergyModel, Phase
+from repro.net.mobility import RandomWaypoint, StaticMobility
+from repro.net.node import Node, NodeRole
+from repro.net.packet import Packet, PacketKind
+from repro.net.medium import WirelessMedium
+from repro.net.network import WirelessNetwork
+from repro.net.failure import FaultInjector
+from repro.net.discovery import FloodDiscovery
+
+__all__ = [
+    "EnergyLedger",
+    "EnergyModel",
+    "Phase",
+    "RandomWaypoint",
+    "StaticMobility",
+    "Node",
+    "NodeRole",
+    "Packet",
+    "PacketKind",
+    "WirelessMedium",
+    "WirelessNetwork",
+    "FaultInjector",
+    "FloodDiscovery",
+]

@@ -1,0 +1,123 @@
+"""Per-packet energy accounting (Section IV).
+
+The paper charges 2 J per transmitted packet and 0.75 J per received
+packet and reports two ledgers: energy consumed in *topology
+construction* and in *communication* (data forwarding + maintenance).
+:class:`EnergyLedger` keeps both, split by phase and by node, so every
+figure's energy series comes straight out of this module.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+
+class Phase(enum.Enum):
+    """Which ledger a packet's energy is charged to."""
+
+    CONSTRUCTION = "construction"
+    COMMUNICATION = "communication"
+
+
+@dataclass(frozen=True)
+class EnergyModel:
+    """Joules per packet, in transmit and receive modes.
+
+    Defaults are the paper's constants (Section IV, citing the
+    LinkQuest UWM1000 figures).
+    """
+
+    tx_joules: float = 2.0
+    rx_joules: float = 0.75
+
+    def __post_init__(self) -> None:
+        if self.tx_joules < 0 or self.rx_joules < 0:
+            raise ValueError("energy costs must be non-negative")
+
+
+class EnergyLedger:
+    """Accumulates per-node, per-phase, per-traffic-class energy."""
+
+    def __init__(self, model: EnergyModel = EnergyModel()) -> None:
+        self.model = model
+        self._by_phase: Dict[Phase, float] = defaultdict(float)
+        self._by_node: Dict[Tuple[int, Phase], float] = defaultdict(float)
+        self._by_kind: Dict[str, float] = defaultdict(float)
+        self._phase = Phase.CONSTRUCTION
+        self.tx_packets = 0
+        self.rx_packets = 0
+
+    # -- phase control ---------------------------------------------------
+
+    @property
+    def phase(self) -> Phase:
+        return self._phase
+
+    def set_phase(self, phase: Phase) -> None:
+        """Switch the active ledger (construction -> communication)."""
+        self._phase = phase
+
+    # -- charging ----------------------------------------------------------
+
+    def charge_tx(
+        self, node_id: int, packets: int = 1, kind: str = "data"
+    ) -> float:
+        """Charge ``packets`` transmissions to ``node_id``; returns joules.
+
+        ``kind`` attributes the cost to a traffic class ("data",
+        "control", "probe", "flood", ...), letting analyses split
+        message-transmission energy from topology-update energy the
+        way Section IV-D discusses.
+        """
+        joules = self.model.tx_joules * packets
+        self._by_phase[self._phase] += joules
+        self._by_node[(node_id, self._phase)] += joules
+        self._by_kind[kind] += joules
+        self.tx_packets += packets
+        return joules
+
+    def charge_rx(
+        self, node_id: int, packets: int = 1, kind: str = "data"
+    ) -> float:
+        """Charge ``packets`` receptions to ``node_id``; returns joules."""
+        joules = self.model.rx_joules * packets
+        self._by_phase[self._phase] += joules
+        self._by_node[(node_id, self._phase)] += joules
+        self._by_kind[kind] += joules
+        self.rx_packets += packets
+        return joules
+
+    # -- reporting ----------------------------------------------------------
+
+    def total(self, phase: Phase) -> float:
+        """Total joules charged in ``phase`` across all nodes."""
+        return self._by_phase[phase]
+
+    def grand_total(self) -> float:
+        return sum(self._by_phase.values())
+
+    def node_total(self, node_id: int) -> float:
+        """Total joules consumed by one node across phases."""
+        return sum(
+            joules
+            for (nid, _), joules in self._by_node.items()
+            if nid == node_id
+        )
+
+    def total_by_kind(self, kind: str) -> float:
+        """Joules charged to one traffic class across phases."""
+        return self._by_kind.get(kind, 0.0)
+
+    def kinds(self) -> Dict[str, float]:
+        """All traffic classes and their totals."""
+        return dict(self._by_kind)
+
+    def construction_fraction(self) -> float:
+        """Construction share of total energy (the paper's ~0.1% claim)."""
+        total = self.grand_total()
+        if total == 0:
+            return 0.0
+        return self.total(Phase.CONSTRUCTION) / total

@@ -1,0 +1,102 @@
+"""A CSMA-style contention MAC abstraction.
+
+This is the 802.11 stand-in: per-node FIFO radio occupancy, carrier-
+sense deferral proportional to the number of busy neighbouring radios,
+random backoff, per-attempt loss probability that grows with local
+contention, and a bounded retry budget.  The model reproduces the two
+load effects the evaluation depends on — queueing delay at hot relays
+and loss under congestion — without per-bit symbol simulation.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.errors import NetworkError
+from repro.net.medium import WirelessMedium
+from repro.net.packet import Packet
+from repro.sim.core import Simulator
+
+
+@dataclass(frozen=True)
+class MacConfig:
+    """Tunables for the contention model."""
+
+    bitrate_bps: float = 2_000_000.0     # 802.11 basic rate
+    slot_seconds: float = 0.0005         # expected deferral per busy neighbour
+    processing_delay: float = 0.001      # per-hop forwarding latency
+    base_loss: float = 0.01              # floor frame-loss probability
+    contention_loss: float = 0.01        # extra loss per busy neighbour
+    max_loss: float = 0.3                # cap on the contention-driven part
+    retry_limit: int = 3                 # link-layer retransmissions
+    failure_timeout: float = 0.02        # time burned learning a hop failed
+
+    def airtime(self, size_bytes: int) -> float:
+        """Seconds the radio is busy sending one frame."""
+        return (size_bytes * 8.0) / self.bitrate_bps
+
+
+class ContentionMac:
+    """Schedules frame transmissions over the shared medium."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        medium: WirelessMedium,
+        rng: random.Random,
+        config: MacConfig = MacConfig(),
+    ) -> None:
+        self._sim = sim
+        self._medium = medium
+        self._rng = rng
+        self.config = config
+
+    def _loss_probability(self, src_id: int, now: float) -> float:
+        contention = self._medium.contention_at(src_id, now)
+        extra = min(
+            self.config.contention_loss * contention, self.config.max_loss
+        )
+        return min(self.config.base_loss + extra, 1.0)
+
+    def transmit(
+        self,
+        src_id: int,
+        dst_id: int,
+        packet: Packet,
+        on_result: Callable[[bool, float], None],
+    ) -> None:
+        """Send one frame src -> dst; reports (success, completion_time).
+
+        The frame waits for the sender's radio, defers for contention,
+        and is retried up to ``retry_limit`` times on loss.  Whether the
+        destination is *reachable* is the caller's concern (checked at
+        the network layer at the moment of transmission); this layer
+        models only timing and stochastic loss.
+        """
+        cfg = self.config
+        src = self._medium.node(src_id)
+        now = self._sim.now
+        start = max(now, src.radio_busy_until)
+        contention = self._medium.contention_at(src_id, now)
+        airtime = cfg.airtime(packet.size_bytes)
+        loss_p = self._loss_probability(src_id, now)
+
+        elapsed = start - now
+        success = False
+        for _ in range(cfg.retry_limit + 1):
+            backoff = cfg.slot_seconds * contention * self._rng.uniform(0.5, 1.5)
+            elapsed += backoff + airtime
+            if self._rng.random() >= loss_p:
+                success = True
+                break
+        src.radio_busy_until = now + elapsed
+        completion = now + elapsed + cfg.processing_delay
+        self._sim.schedule(
+            completion - now, lambda: on_result(success, completion)
+        )
+
+    def broadcast_airtime(self, size_bytes: int) -> float:
+        """Occupancy of a single broadcast frame (no retries, no ACK)."""
+        return self.config.airtime(size_bytes)

@@ -1,0 +1,113 @@
+"""The shared wireless medium: who can hear whom, right now.
+
+Connectivity is the unit-disk model the paper uses: a transmission
+from A reaches B iff their distance is within A's transmission range.
+Neighbour queries are frequent (every hop, every probe), so results
+are cached per coarse time bucket; mobility invalidates the cache
+naturally as time advances.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import NetworkError
+from repro.net.node import Node
+
+
+class WirelessMedium:
+    """Registry of nodes plus range queries with time-bucketed caching."""
+
+    def __init__(self, cache_resolution: float = 0.25) -> None:
+        if cache_resolution <= 0:
+            raise NetworkError("cache_resolution must be positive")
+        self._nodes: Dict[int, Node] = {}
+        self._cache_resolution = cache_resolution
+        self._neighbor_cache: Dict[Tuple[int, int], List[int]] = {}
+        self._cache_bucket = -1
+
+    # -- registry ------------------------------------------------------------
+
+    def add_node(self, node: Node) -> None:
+        if node.id in self._nodes:
+            raise NetworkError(f"duplicate node id {node.id}")
+        self._nodes[node.id] = node
+
+    def node(self, node_id: int) -> Node:
+        try:
+            return self._nodes[node_id]
+        except KeyError:
+            raise NetworkError(f"unknown node id {node_id}") from None
+
+    def nodes(self) -> List[Node]:
+        return list(self._nodes.values())
+
+    def node_ids(self) -> List[int]:
+        return list(self._nodes)
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def __contains__(self, node_id: int) -> bool:
+        return node_id in self._nodes
+
+    # -- connectivity -------------------------------------------------------
+
+    def _bucket(self, now: float) -> int:
+        return int(now / self._cache_resolution)
+
+    def neighbors(
+        self, node_id: int, now: float, require_usable: bool = True
+    ) -> List[int]:
+        """IDs of nodes with a bidirectional link to ``node_id``.
+
+        ``require_usable`` filters out failed/asleep/dead nodes — pass
+        False for topology analysis that should see the whole graph.
+        """
+        bucket = self._bucket(now)
+        if bucket != self._cache_bucket:
+            self._neighbor_cache.clear()
+            self._cache_bucket = bucket
+        key = (node_id, 1 if require_usable else 0)
+        cached = self._neighbor_cache.get(key)
+        if cached is None:
+            origin = self.node(node_id)
+            cached = [
+                other.id
+                for other in self._nodes.values()
+                if other.id != node_id
+                and (other.usable or not require_usable)
+                and origin.bidirectional_link(other, now)
+            ]
+            self._neighbor_cache[key] = cached
+        return list(cached)
+
+    def can_transmit(self, src_id: int, dst_id: int, now: float) -> bool:
+        """Whether a src->dst frame would arrive (range + liveness)."""
+        src, dst = self.node(src_id), self.node(dst_id)
+        return src.usable and dst.usable and src.in_range_of(dst, now)
+
+    def link_quality(self, src_id: int, dst_id: int, now: float) -> float:
+        """Distance-based margin in [0, 1]: 1 adjacent, 0 at range edge.
+
+        REFER's maintenance uses sensed signal strength to predict link
+        breakage (Section III-B4); this margin is that signal.
+        """
+        src, dst = self.node(src_id), self.node(dst_id)
+        distance = src.distance_to(dst, now)
+        limit = min(src.transmission_range, dst.transmission_range)
+        if distance >= limit:
+            return 0.0
+        return 1.0 - distance / limit
+
+    def contention_at(self, node_id: int, now: float) -> int:
+        """How many neighbouring radios are currently busy.
+
+        Drives the CSMA backoff model: each busy neighbour adds an
+        expected deferral slot.
+        """
+        return sum(
+            1
+            for other_id in self.neighbors(node_id, now)
+            if self.node(other_id).radio_busy_until > now
+        )

@@ -1,0 +1,90 @@
+"""Node mobility models.
+
+Positions are computed analytically from a waypoint leg rather than by
+periodic position-update events: a leg stores (origin, target, speed,
+departure time) and ``position(now)`` interpolates.  Legs roll over
+lazily when queried past their arrival time, so idle nodes cost
+nothing.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Protocol
+
+from repro.util.geometry import Point
+
+
+class MobilityModel(Protocol):
+    """Anything that can report a position at a given time."""
+
+    def position(self, now: float) -> Point:
+        """Node position at simulated time ``now`` (must be monotone-safe)."""
+        ...
+
+
+class StaticMobility:
+    """A node that never moves (actuators, anchored sensors)."""
+
+    def __init__(self, position: Point) -> None:
+        self._position = position
+
+    def position(self, now: float) -> Point:
+        return self._position
+
+
+class RandomWaypoint:
+    """The random-waypoint model used in the paper's evaluation.
+
+    Each node repeatedly selects a uniform destination point in the
+    square deployment area and moves toward it at a speed drawn
+    uniformly from ``[min_speed, max_speed]`` m/s; on arrival it
+    immediately picks the next waypoint (no pause time, matching the
+    paper's setup).  ``max_speed == 0`` degenerates to a static node.
+    """
+
+    def __init__(
+        self,
+        start: Point,
+        area_side: float,
+        max_speed: float,
+        rng: random.Random,
+        min_speed: float = 0.0,
+    ) -> None:
+        if area_side <= 0:
+            raise ValueError("area_side must be positive")
+        if max_speed < 0 or min_speed < 0 or min_speed > max_speed:
+            raise ValueError("invalid speed range")
+        self._area_side = area_side
+        self._min_speed = min_speed
+        self._max_speed = max_speed
+        self._rng = rng
+        self._origin = start
+        self._target = start
+        self._speed = 0.0
+        self._depart_time = 0.0
+        self._arrive_time = 0.0
+        if max_speed > 0:
+            self._next_leg(start, 0.0)
+
+    def _next_leg(self, origin: Point, now: float) -> None:
+        self._origin = origin
+        self._target = Point(
+            self._rng.uniform(0.0, self._area_side),
+            self._rng.uniform(0.0, self._area_side),
+        )
+        # Redraw near-zero speeds: a [0, max] draw of exactly 0 would
+        # strand the node forever on this leg.
+        speed = self._rng.uniform(self._min_speed, self._max_speed)
+        self._speed = max(speed, 1e-3 * self._max_speed)
+        self._depart_time = now
+        distance = origin.distance_to(self._target)
+        self._arrive_time = now + distance / self._speed
+
+    def position(self, now: float) -> Point:
+        if self._max_speed == 0:
+            return self._origin
+        while now >= self._arrive_time:
+            self._next_leg(self._target, self._arrive_time)
+        elapsed = now - self._depart_time
+        return self._origin.toward(self._target, self._speed * elapsed)

@@ -1,0 +1,335 @@
+"""The network facade protocols program against.
+
+:class:`WirelessNetwork` wires together the simulator, medium, MAC,
+energy ledger and trace log, and offers the three primitives every
+protocol in this repository is built from:
+
+* :meth:`send` — one-hop unicast with success/failure callbacks,
+* :meth:`send_along_path` — hop-by-hop relay over a node-id path,
+* :meth:`flood` — TTL-bounded broadcast with per-level latency and
+  full flooding energy accounting (the cost the paper charges the
+  baselines for route discovery/repair).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import NetworkError
+from repro.net.energy import EnergyLedger, EnergyModel, Phase
+from repro.net.mac import ContentionMac, MacConfig
+from repro.net.medium import WirelessMedium
+from repro.net.node import Node
+from repro.net.packet import Packet, PacketKind
+from repro.sim.core import Simulator
+from repro.sim.trace import TraceLog
+
+ReceiveHandler = Callable[[Packet], None]
+DeliveryCallback = Callable[[Packet], None]
+FailureCallback = Callable[[Packet, int], None]   # (packet, failed_at_node)
+
+
+class WirelessNetwork:
+    """Simulated wireless network: nodes + medium + MAC + energy."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        rng: random.Random,
+        mac_config: MacConfig = MacConfig(),
+        energy_model: EnergyModel = EnergyModel(),
+        trace_capacity: int = 2_000,
+    ) -> None:
+        self.sim = sim
+        self.medium = WirelessMedium()
+        self.mac = ContentionMac(sim, self.medium, rng, mac_config)
+        self.energy = EnergyLedger(energy_model)
+        self.trace = TraceLog(capacity=trace_capacity, enabled=False)
+        self._rng = rng
+        self._handlers: Dict[int, ReceiveHandler] = {}
+        self.delivered_packets = 0
+        self.dropped_packets = 0
+
+    # -- topology -----------------------------------------------------------
+
+    def add_node(self, node: Node) -> None:
+        self.medium.add_node(node)
+
+    def node(self, node_id: int) -> Node:
+        return self.medium.node(node_id)
+
+    def nodes(self) -> List[Node]:
+        return self.medium.nodes()
+
+    def neighbors(self, node_id: int, require_usable: bool = True) -> List[int]:
+        return self.medium.neighbors(node_id, self.sim.now, require_usable)
+
+    def set_receive_handler(self, node_id: int, handler: ReceiveHandler) -> None:
+        """Protocol hook invoked when a packet's final hop delivers here."""
+        self._handlers[node_id] = handler
+
+    # -- direct energy accounting ---------------------------------------------
+
+    def charge_control_tx(self, node_id: int) -> None:
+        """Charge one control-message transmission (ledger + battery).
+
+        For protocol bookkeeping messages whose timing is immaterial
+        (construction-phase exchanges, assignment replies) — energy is
+        accounted without scheduling radio events.
+        """
+        self.energy.charge_tx(node_id, kind="control")
+        self.node(node_id).drain(self.energy.model.tx_joules)
+
+    def charge_control_rx(self, node_id: int) -> None:
+        """Charge one control-message reception (ledger + battery)."""
+        self.energy.charge_rx(node_id, kind="control")
+        self.node(node_id).drain(self.energy.model.rx_joules)
+
+    # -- fault API -------------------------------------------------------------
+
+    def fail_node(self, node_id: int) -> None:
+        self.node(node_id).failed = True
+
+    def recover_node(self, node_id: int) -> None:
+        self.node(node_id).failed = False
+
+    # -- one-hop unicast ---------------------------------------------------------
+
+    def send(
+        self,
+        src_id: int,
+        dst_id: int,
+        packet: Packet,
+        on_delivered: Optional[DeliveryCallback] = None,
+        on_failed: Optional[FailureCallback] = None,
+        deliver_to_handler: bool = True,
+    ) -> None:
+        """Transmit one hop.  Energy: tx always charged (the radio spends
+        it whether or not the frame arrives), rx charged on success.
+
+        Failure paths: source unusable (immediate), destination out of
+        range or unusable (discovered after ``failure_timeout`` — the
+        sender burns its retries before concluding the link is gone),
+        MAC loss after retries.
+        """
+        now = self.sim.now
+        src = self.node(src_id)
+        if not src.usable:
+            self._fail(packet, src_id, on_failed, delay=0.0)
+            return
+        packet.record_hop(src_id)
+        self.energy.charge_tx(src_id, kind=packet.kind.value)
+        src.drain(self.energy.model.tx_joules)
+        if not self.medium.can_transmit(src_id, dst_id, now):
+            self.trace.record(now, "link_break", f"{src_id}->{dst_id}")
+            self._fail(
+                packet, src_id, on_failed,
+                delay=self.mac.config.failure_timeout,
+            )
+            return
+
+        def complete(success: bool, at: float) -> None:
+            if not success or not self.medium.node(dst_id).usable:
+                self.trace.record(at, "mac_drop", f"{src_id}->{dst_id}")
+                self._fail(packet, src_id, on_failed, delay=0.0)
+                return
+            self.energy.charge_rx(dst_id, kind=packet.kind.value)
+            self.node(dst_id).drain(self.energy.model.rx_joules)
+            if on_delivered is not None:
+                on_delivered(packet)
+            if deliver_to_handler:
+                handler = self._handlers.get(dst_id)
+                if handler is not None:
+                    handler(packet)
+
+        self.mac.transmit(src_id, dst_id, packet, complete)
+
+    def _fail(
+        self,
+        packet: Packet,
+        at_node: int,
+        on_failed: Optional[FailureCallback],
+        delay: float,
+    ) -> None:
+        self.dropped_packets += 1
+        if on_failed is None:
+            return
+        if delay > 0:
+            self.sim.schedule(delay, lambda: on_failed(packet, at_node))
+        else:
+            on_failed(packet, at_node)
+
+    # -- multi-hop relay -----------------------------------------------------------
+
+    def send_along_path(
+        self,
+        path: Sequence[int],
+        packet: Packet,
+        on_delivered: Optional[DeliveryCallback] = None,
+        on_failed: Optional[FailureCallback] = None,
+    ) -> None:
+        """Relay ``packet`` hop-by-hop along ``path`` (list of node ids).
+
+        The receive handler fires only at the final node.  On any hop
+        failure, ``on_failed`` gets the id of the node that could not
+        forward — protocols use that to trigger their repair logic.
+        """
+        if len(path) < 1:
+            raise NetworkError("empty path")
+        if len(path) == 1:
+            self.delivered_packets += 1
+            if on_delivered is not None:
+                on_delivered(packet)
+            handler = self._handlers.get(path[0])
+            if handler is not None:
+                handler(packet)
+            return
+
+        def hop(index: int) -> None:
+            last = index + 1 == len(path) - 1
+
+            def delivered(pkt: Packet) -> None:
+                if last:
+                    self.delivered_packets += 1
+                    if on_delivered is not None:
+                        on_delivered(pkt)
+                else:
+                    hop(index + 1)
+
+            self.send(
+                path[index],
+                path[index + 1],
+                packet,
+                on_delivered=delivered,
+                on_failed=on_failed,
+                deliver_to_handler=last,
+            )
+
+        hop(0)
+
+    # -- flooding -------------------------------------------------------------------
+
+    def flood(
+        self,
+        src_id: int,
+        ttl: int,
+        size_bytes: int = 64,
+        kind: PacketKind = PacketKind.QUERY,
+        on_complete: Optional[Callable[[Dict[int, Tuple[int, Optional[int]]]], None]] = None,
+    ) -> Dict[int, Tuple[int, Optional[int]]]:
+        """TTL-bounded broadcast flood from ``src_id``.
+
+        Returns (and optionally calls back with) the flood tree:
+        ``{node_id: (hop_distance, parent_id)}`` over usable nodes.
+        Energy is charged as real flooding would: every reached node
+        rebroadcasts once (tx), every reception over every edge of the
+        reachability graph is charged (rx).  The completion callback is
+        delayed by one broadcast airtime per flood level.
+
+        The per-duplicate packet events are *not* individually simulated
+        — this is the documented shortcut that keeps 400-node broadcast
+        storms tractable while preserving their energy and latency cost.
+        """
+        now = self.sim.now
+        if not self.node(src_id).usable:
+            tree: Dict[int, Tuple[int, Optional[int]]] = {}
+            if on_complete is not None:
+                self.sim.schedule(0.0, lambda: on_complete(tree))
+            return tree
+        tree = {src_id: (0, None)}
+        frontier = [src_id]
+        depth = 0
+        level_sizes: List[int] = [1]
+        while frontier and depth < ttl:
+            depth += 1
+            next_frontier: List[int] = []
+            for node_id in frontier:
+                for nb in self.neighbors(node_id):
+                    self.energy.charge_rx(nb, kind="flood")
+                    self.node(nb).drain(self.energy.model.rx_joules)
+                    if nb not in tree:
+                        tree[nb] = (depth, node_id)
+                        next_frontier.append(nb)
+            frontier = next_frontier
+            level_sizes.append(len(frontier))
+        # Every node that holds the message rebroadcasts once, except
+        # leaves at the TTL horizon which receive but do not forward.
+        forwarders = [
+            (node_id, hops)
+            for node_id, (hops, _) in tree.items()
+            if hops < ttl
+        ]
+        # Broadcast-storm timing: within one flood level every forwarder
+        # contends with the others, so a level takes one airtime plus a
+        # deferral slot per concurrent transmitter; each forwarder's
+        # radio is occupied while its level drains.
+        cfg = self.mac.config
+        airtime = self.mac.broadcast_airtime(size_bytes)
+        level_latency: List[float] = [0.0]
+        for width in level_sizes[:-1] if len(level_sizes) > 1 else [0]:
+            step = airtime + cfg.processing_delay + cfg.slot_seconds * width
+            level_latency.append(level_latency[-1] + step)
+        total_latency = level_latency[-1] if level_latency else 0.0
+        for node_id, hops in forwarders:
+            self.energy.charge_tx(node_id)
+            node = self.node(node_id)
+            node.drain(self.energy.model.tx_joules)
+            # A forwarder contends for the medium until its whole flood
+            # level has drained — the broadcast-storm cost that lets
+            # repair floods steal airtime from concurrent data traffic.
+            level_end = level_latency[
+                min(hops + 1, len(level_latency) - 1)
+            ]
+            node.radio_busy_until = max(
+                node.radio_busy_until, now + max(level_end, airtime)
+            )
+        self.trace.record(now, "flood", f"src={src_id} reached={len(tree)}")
+        if on_complete is not None:
+            self.sim.schedule(total_latency, lambda: on_complete(tree))
+        return tree
+
+    def flood_multi(
+        self,
+        src_ids: Sequence[int],
+        ttl: int,
+        size_bytes: int = 64,
+    ) -> Dict[int, Tuple[int, Optional[int]]]:
+        """A joint flood from several sources (DaTree construction).
+
+        Every node forwards only the *first* copy it hears, so the
+        total transmission count is one per reached node regardless of
+        the number of sources — the region is partitioned between the
+        sources.  Tree entries for the sources themselves have parent
+        ``None``; every other node's parent leads back to the source
+        whose wave reached it first.
+        """
+        tree: Dict[int, Tuple[int, Optional[int]]] = {}
+        frontier: List[int] = []
+        for src_id in src_ids:
+            if self.node(src_id).usable and src_id not in tree:
+                tree[src_id] = (0, None)
+                frontier.append(src_id)
+        depth = 0
+        while frontier and depth < ttl:
+            depth += 1
+            next_frontier: List[int] = []
+            for node_id in frontier:
+                for nb in self.neighbors(node_id):
+                    self.energy.charge_rx(nb, kind="flood")
+                    self.node(nb).drain(self.energy.model.rx_joules)
+                    if nb not in tree:
+                        tree[nb] = (depth, node_id)
+                        next_frontier.append(nb)
+            frontier = next_frontier
+        for node_id, (hops, _) in tree.items():
+            if hops < ttl:
+                self.energy.charge_tx(node_id, kind="flood")
+                self.node(node_id).drain(self.energy.model.tx_joules)
+        return tree
+
+    # -- metrics helpers ----------------------------------------------------------------
+
+    def set_phase(self, phase: Phase) -> None:
+        """Switch the energy ledger between construction/communication."""
+        self.energy.set_phase(phase)

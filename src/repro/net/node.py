@@ -1,0 +1,105 @@
+"""Network node model: identity, role, radio state, liveness.
+
+A node is *failed* when the fault injector has broken it, *dead* when
+its battery is exhausted (optional in most experiments), and *asleep*
+when the WSAN duty-cycle scheme has parked it.  Only awake, unfailed,
+undead nodes take part in communication.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Optional
+
+from repro.errors import NetworkError
+from repro.net.mobility import MobilityModel
+from repro.util.geometry import Point
+
+
+class NodeRole(enum.Enum):
+    """Device class: low-power sensor or resource-rich actuator."""
+
+    SENSOR = "sensor"
+    ACTUATOR = "actuator"
+
+
+class Node:
+    """One wireless device."""
+
+    def __init__(
+        self,
+        node_id: int,
+        role: NodeRole,
+        mobility: MobilityModel,
+        transmission_range: float,
+        battery_joules: Optional[float] = None,
+    ) -> None:
+        if transmission_range <= 0:
+            raise NetworkError("transmission_range must be positive")
+        self.id = node_id
+        self.role = role
+        self.mobility = mobility
+        self.transmission_range = transmission_range
+        self.battery_joules = battery_joules
+        self.consumed_joules = 0.0
+        self.failed = False
+        self.asleep = False
+        # MAC state: the time until which this node's radio is busy.
+        self.radio_busy_until = 0.0
+
+    # -- position -----------------------------------------------------------
+
+    def position(self, now: float) -> Point:
+        return self.mobility.position(now)
+
+    def distance_to(self, other: "Node", now: float) -> float:
+        return self.position(now).distance_to(other.position(now))
+
+    def in_range_of(self, other: "Node", now: float) -> bool:
+        """Whether this node's transmissions reach ``other``."""
+        return self.distance_to(other, now) <= self.transmission_range
+
+    def bidirectional_link(self, other: "Node", now: float) -> bool:
+        """Whether both directions are in range (usable for a protocol link)."""
+        distance = self.distance_to(other, now)
+        return (
+            distance <= self.transmission_range
+            and distance <= other.transmission_range
+        )
+
+    # -- liveness --------------------------------------------------------------
+
+    @property
+    def is_sensor(self) -> bool:
+        return self.role is NodeRole.SENSOR
+
+    @property
+    def is_actuator(self) -> bool:
+        return self.role is NodeRole.ACTUATOR
+
+    @property
+    def battery_exhausted(self) -> bool:
+        return (
+            self.battery_joules is not None
+            and self.consumed_joules >= self.battery_joules
+        )
+
+    @property
+    def usable(self) -> bool:
+        """Can this node transmit/receive right now?"""
+        return not self.failed and not self.asleep and not self.battery_exhausted
+
+    @property
+    def battery_fraction(self) -> float:
+        """Remaining battery as a fraction (1.0 when unmetered)."""
+        if self.battery_joules is None:
+            return 1.0
+        remaining = self.battery_joules - self.consumed_joules
+        return max(0.0, remaining / self.battery_joules)
+
+    def drain(self, joules: float) -> None:
+        """Deduct battery energy (no-op accounting when unmetered)."""
+        self.consumed_joules += joules
+
+    def __repr__(self) -> str:
+        return f"Node({self.id}, {self.role.value})"

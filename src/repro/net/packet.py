@@ -1,0 +1,75 @@
+"""Packet model.
+
+Packets are small mutable records: routing protocols append to
+``hops`` as the packet moves and may stash protocol state in ``meta``.
+Identity is the auto-assigned ``uid``, not object identity, so traces
+and metrics can refer to packets after delivery.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+_uid_counter = itertools.count(1)
+
+
+class PacketKind(enum.Enum):
+    """Traffic classes, used for energy/metric attribution."""
+
+    DATA = "data"            # application payload (sensor event reports)
+    CONTROL = "control"      # routing control (path repair, replies)
+    QUERY = "query"          # discovery floods / path queries
+    PROBE = "probe"          # periodic neighbour/candidate probes
+    ASSIGN = "assign"        # ID-assignment messages (embedding protocol)
+
+
+@dataclass
+class Packet:
+    """One message travelling through the network."""
+
+    kind: PacketKind
+    size_bytes: int
+    source: int
+    destination: Optional[int]
+    created_at: float
+    uid: int = field(default_factory=lambda: next(_uid_counter))
+    deadline: Optional[float] = None
+    hops: List[int] = field(default_factory=list)
+    meta: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def hop_count(self) -> int:
+        """Number of transmissions the packet has undergone."""
+        return len(self.hops)
+
+    def latency(self, now: float) -> float:
+        """Time in flight since creation."""
+        return now - self.created_at
+
+    def within_deadline(self, now: float) -> bool:
+        """Whether delivery at ``now`` meets the QoS deadline (if any)."""
+        return self.deadline is None or self.latency(now) <= self.deadline
+
+    def record_hop(self, node_id: int) -> None:
+        self.hops.append(node_id)
+
+    def clone_for_retransmit(self, now: float) -> "Packet":
+        """A fresh copy for source retransmission.
+
+        Keeps the original ``created_at`` (the application experiences
+        the full delay including the failed attempt) but clears the hop
+        trail; gets a new uid so MAC-level accounting treats it as a
+        distinct transmission.
+        """
+        return Packet(
+            kind=self.kind,
+            size_bytes=self.size_bytes,
+            source=self.source,
+            destination=self.destination,
+            created_at=self.created_at,
+            deadline=self.deadline,
+            meta=dict(self.meta),
+        )

@@ -1,0 +1,53 @@
+"""Lightweight tracing for simulations.
+
+A :class:`TraceLog` records ``(time, category, message)`` tuples with a
+bounded memory footprint and per-category counters.  Protocol code
+traces unconditionally; the log decides whether to retain the entry, so
+tracing stays cheap in benchmark runs.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, deque
+from typing import Deque, List, NamedTuple, Optional
+
+
+class TraceEntry(NamedTuple):
+    time: float
+    category: str
+    message: str
+
+
+class TraceLog:
+    """A bounded in-memory trace with per-category counters."""
+
+    def __init__(self, capacity: int = 10_000, enabled: bool = True) -> None:
+        if capacity < 0:
+            raise ValueError("capacity must be >= 0")
+        self._entries: Deque[TraceEntry] = deque(maxlen=capacity)
+        self._counts: Counter = Counter()
+        self.enabled = enabled
+
+    def record(self, time: float, category: str, message: str = "") -> None:
+        """Count the event and, if enabled, retain the entry."""
+        self._counts[category] += 1
+        if self.enabled:
+            self._entries.append(TraceEntry(time, category, message))
+
+    def count(self, category: str) -> int:
+        """How many events of ``category`` were recorded (ever)."""
+        return self._counts[category]
+
+    def entries(self, category: Optional[str] = None) -> List[TraceEntry]:
+        """Retained entries, optionally filtered by category."""
+        if category is None:
+            return list(self._entries)
+        return [e for e in self._entries if e.category == category]
+
+    def categories(self) -> List[str]:
+        return sorted(self._counts)
+
+    def clear(self) -> None:
+        """Drop retained entries and counters."""
+        self._entries.clear()
+        self._counts.clear()

@@ -1,0 +1,12 @@
+"""WSAN roles, deployment geometry and the awake/sleep duty cycle."""
+
+from repro.wsan.deployment import Cell, DeploymentPlan, plan_deployment
+from repro.wsan.duty_cycle import DutyCycleManager, SensorState
+
+__all__ = [
+    "Cell",
+    "DeploymentPlan",
+    "plan_deployment",
+    "DutyCycleManager",
+    "SensorState",
+]

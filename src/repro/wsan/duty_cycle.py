@@ -1,0 +1,95 @@
+"""The awake/sleep scheme (Section III-B4).
+
+REFER keeps three functional states for sensors: *active* nodes form
+the Kautz graph, *wait* nodes are candidates ready to replace an active
+node, and *sleep* nodes conserve energy, waking periodically to probe
+whether they qualify as candidates.  This module tracks the states and
+the candidate relation; the energy cost of probing is charged by the
+maintenance protocol that drives it.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import defaultdict
+from typing import Dict, Iterable, List, Optional, Set
+
+from repro.errors import ConfigError
+
+
+class SensorState(enum.Enum):
+    """The three functional states of Section III-B4."""
+
+    ACTIVE = "active"
+    WAIT = "wait"
+    SLEEP = "sleep"
+
+
+class DutyCycleManager:
+    """Tracks sensor functional states and candidate registrations."""
+
+    def __init__(self, sensor_ids: Iterable[int]) -> None:
+        self._state: Dict[int, SensorState] = {
+            sid: SensorState.SLEEP for sid in sensor_ids
+        }
+        # candidate -> the active nodes it can stand in for
+        self._candidate_for: Dict[int, Set[int]] = defaultdict(set)
+
+    # -- queries ------------------------------------------------------------
+
+    def state(self, sensor_id: int) -> SensorState:
+        try:
+            return self._state[sensor_id]
+        except KeyError:
+            raise ConfigError(f"unknown sensor {sensor_id}") from None
+
+    def sensors(self, state: SensorState) -> List[int]:
+        return [sid for sid, s in self._state.items() if s is state]
+
+    def is_active(self, sensor_id: int) -> bool:
+        return self.state(sensor_id) is SensorState.ACTIVE
+
+    def candidates_of(self, active_id: int) -> List[int]:
+        """Wait-state sensors registered as able to replace ``active_id``."""
+        return [
+            sid
+            for sid, actives in self._candidate_for.items()
+            if active_id in actives
+            and self._state.get(sid) is SensorState.WAIT
+        ]
+
+    # -- transitions -----------------------------------------------------------
+
+    def activate(self, sensor_id: int) -> None:
+        """Promote to ACTIVE (becomes a Kautz node)."""
+        self.state(sensor_id)  # existence check
+        self._state[sensor_id] = SensorState.ACTIVE
+        self._candidate_for.pop(sensor_id, None)
+
+    def register_candidate(self, sensor_id: int, active_id: int) -> None:
+        """A sleeping/waiting sensor probed successfully: mark as WAIT."""
+        if self.state(sensor_id) is SensorState.ACTIVE:
+            raise ConfigError(f"active sensor {sensor_id} cannot be a candidate")
+        self._state[sensor_id] = SensorState.WAIT
+        self._candidate_for[sensor_id].add(active_id)
+
+    def unregister_candidate(self, sensor_id: int, active_id: int) -> None:
+        """Drop one candidacy; falls back to SLEEP when none remain."""
+        actives = self._candidate_for.get(sensor_id)
+        if actives is None:
+            return
+        actives.discard(active_id)
+        if not actives and self._state.get(sensor_id) is SensorState.WAIT:
+            self._state[sensor_id] = SensorState.SLEEP
+
+    def deactivate(self, sensor_id: int) -> None:
+        """Demote an ACTIVE sensor back to SLEEP (it was replaced)."""
+        self.state(sensor_id)
+        self._state[sensor_id] = SensorState.SLEEP
+
+    def replace(self, active_id: int, candidate_id: int) -> None:
+        """Swap: candidate becomes ACTIVE, the old node sleeps."""
+        if self.state(candidate_id) is SensorState.ACTIVE:
+            raise ConfigError(f"{candidate_id} is already active")
+        self.deactivate(active_id)
+        self.activate(candidate_id)

@@ -1,0 +1,98 @@
+"""Tests for the embedded-cell state."""
+
+import pytest
+
+from repro.core.cell import EmbeddedCell
+from repro.errors import EmbeddingError
+from repro.kautz.graph import KautzGraph
+from repro.kautz.strings import KautzString
+
+
+def K(text):
+    return KautzString.parse(text, 2)
+
+
+@pytest.fixture
+def cell():
+    return EmbeddedCell(cid=1, graph=KautzGraph(2, 3))
+
+
+class TestAssignment:
+    def test_assign_and_lookup(self, cell):
+        cell.assign(K("012"), 10, actuator=True)
+        assert cell.node_of(K("012")) == 10
+        assert cell.kid_of(10) == K("012")
+        assert cell.holds(10)
+        assert cell.is_actuator_kid(K("012"))
+
+    def test_foreign_kid_rejected(self, cell):
+        with pytest.raises(EmbeddingError):
+            cell.assign(KautzString.parse("01", 2), 1)
+
+    def test_double_assign_kid_rejected(self, cell):
+        cell.assign(K("012"), 1)
+        with pytest.raises(EmbeddingError):
+            cell.assign(K("012"), 2)
+
+    def test_double_assign_node_rejected(self, cell):
+        cell.assign(K("012"), 1)
+        with pytest.raises(EmbeddingError):
+            cell.assign(K("120"), 1)
+
+    def test_unassigned_lookups_raise(self, cell):
+        with pytest.raises(EmbeddingError):
+            cell.node_of(K("012"))
+        with pytest.raises(EmbeddingError):
+            cell.kid_of(55)
+
+
+class TestReassign:
+    def test_reassign_moves_kid(self, cell):
+        cell.assign(K("010"), 1)
+        old = cell.reassign(K("010"), 2)
+        assert old == 1
+        assert cell.node_of(K("010")) == 2
+        assert not cell.holds(1)
+
+    def test_actuator_kid_immovable(self, cell):
+        cell.assign(K("012"), 1, actuator=True)
+        with pytest.raises(EmbeddingError):
+            cell.reassign(K("012"), 2)
+
+    def test_reassign_to_existing_member_rejected(self, cell):
+        cell.assign(K("010"), 1)
+        cell.assign(K("101"), 2)
+        with pytest.raises(EmbeddingError):
+            cell.reassign(K("010"), 2)
+
+    def test_reassign_unassigned_rejected(self, cell):
+        with pytest.raises(EmbeddingError):
+            cell.reassign(K("010"), 2)
+
+
+class TestQueries:
+    def test_completeness(self, cell):
+        assert not cell.is_complete
+        for i, kid in enumerate(cell.graph.nodes()):
+            cell.assign(kid, i)
+        assert cell.is_complete
+        assert cell.unassigned_kids() == []
+
+    def test_member_listing(self, cell):
+        cell.assign(K("012"), 1, actuator=True)
+        cell.assign(K("010"), 2)
+        assert set(cell.member_ids) == {1, 2}
+        assert cell.sensor_member_ids == [2]
+        assert cell.actuator_kids == [K("012")]
+
+    def test_kautz_neighbors_undirected(self, cell):
+        nbrs = cell.kautz_neighbors_of(K("012"))
+        # successors: 120, 121; predecessors: 101, 201
+        assert set(str(n) for n in nbrs) == {"120", "121", "101", "201"}
+
+    def test_kautz_neighbors_dedup(self, cell):
+        # For K(2,2): successors and predecessors can overlap.
+        small = EmbeddedCell(1, KautzGraph(2, 2))
+        kid = KautzString.parse("01", 2)
+        nbrs = small.kautz_neighbors_of(kid)
+        assert len(nbrs) == len(set(nbrs))

@@ -1,0 +1,91 @@
+"""Stateful property test: the CAN overlay under join/leave churn.
+
+Invariants after every operation:
+* the zones of all nodes tile the unit square exactly (volume 1);
+* every point has exactly one owner;
+* greedy routing from any node reaches the owner of any point.
+"""
+
+import random
+
+from hypothesis import settings
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    initialize,
+    invariant,
+    precondition,
+    rule,
+)
+from hypothesis import strategies as st
+
+from repro.dht.can import CanOverlay
+
+unit = st.floats(min_value=0.0, max_value=0.999, allow_nan=False)
+
+
+class CanMachine(RuleBasedStateMachine):
+    def __init__(self):
+        super().__init__()
+        self.can = CanOverlay()
+        self.next_id = 0
+        self.alive = set()
+
+    @initialize(x=unit, y=unit)
+    def first_join(self, x, y):
+        self.can.join(self.next_id, (x, y))
+        self.alive.add(self.next_id)
+        self.next_id += 1
+
+    @rule(x=unit, y=unit)
+    def join(self, x, y):
+        self.can.join(self.next_id, (x, y))
+        self.alive.add(self.next_id)
+        self.next_id += 1
+
+    @precondition(lambda self: len(self.alive) > 1)
+    @rule(pick=st.randoms(use_true_random=False))
+    def leave(self, pick):
+        node = pick.choice(sorted(self.alive))
+        self.can.leave(node)
+        self.alive.discard(node)
+
+    @invariant()
+    def zones_tile_the_square(self):
+        if not self.alive:
+            return
+        total = sum(
+            zone.volume
+            for node in self.can.nodes()
+            for zone in self.can.zones_of(node)
+        )
+        assert abs(total - 1.0) < 1e-9
+
+    @invariant()
+    def every_point_has_one_owner(self):
+        if not self.alive:
+            return
+        rng = random.Random(1234)
+        for _ in range(5):
+            point = (rng.random(), rng.random())
+            owners = [
+                node
+                for node in self.can.nodes()
+                if any(z.contains(point) for z in self.can.zones_of(node))
+            ]
+            assert len(owners) == 1
+
+    @invariant()
+    def routing_reaches_owner(self):
+        if not self.alive:
+            return
+        rng = random.Random(99)
+        point = (rng.random(), rng.random())
+        src = sorted(self.alive)[0]
+        path = self.can.route(src, point)
+        assert path[-1] == self.can.owner_of(point)
+
+
+CanMachine.TestCase.settings = settings(
+    max_examples=25, stateful_step_count=20, deadline=None
+)
+TestCanChurn = CanMachine.TestCase

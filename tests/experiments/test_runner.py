@@ -1,0 +1,86 @@
+"""Integration tests for the scenario runner (all four systems)."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.experiments.config import FaultConfig, ScenarioConfig
+from repro.experiments.runner import SYSTEMS, run_scenario
+
+FAST = ScenarioConfig(sim_time=10.0, warmup=2.0, rate_pps=5.0)
+
+
+class TestRunner:
+    def test_unknown_system_rejected(self):
+        with pytest.raises(ConfigError):
+            run_scenario("nope", FAST)
+
+    @pytest.mark.parametrize("name", sorted(SYSTEMS))
+    def test_each_system_runs_and_delivers(self, name):
+        result = run_scenario(name, FAST)
+        assert result.system == SYSTEMS[name].name
+        assert result.generated > 0
+        assert result.delivered_qos > 0.5 * result.generated
+        assert result.comm_energy_j > 0
+        assert result.construction_energy_j > 0
+        assert result.mean_delay_s > 0
+
+    def test_deterministic_per_seed(self):
+        a = run_scenario("REFER", FAST)
+        b = run_scenario("REFER", FAST)
+        assert a.throughput_bps == b.throughput_bps
+        assert a.comm_energy_j == b.comm_energy_j
+        assert a.mean_delay_s == b.mean_delay_s
+
+    def test_seed_changes_results(self):
+        a = run_scenario("REFER", FAST)
+        b = run_scenario("REFER", FAST.with_(seed=2))
+        assert (
+            a.comm_energy_j != b.comm_energy_j
+            or a.mean_delay_s != b.mean_delay_s
+        )
+
+    def test_fault_injection_runs(self):
+        result = run_scenario(
+            "REFER", FAST.with_(faults=FaultConfig(count=4))
+        )
+        assert result.generated > 0
+
+    def test_total_energy_property(self):
+        result = run_scenario("DaTree", FAST)
+        assert result.total_energy_j == (
+            result.comm_energy_j + result.construction_energy_j
+        )
+
+    def test_delivery_ratio_property(self):
+        result = run_scenario("REFER", FAST)
+        assert 0 < result.delivery_ratio <= 1
+
+
+class TestHeadlineOrderings:
+    """The paper's headline comparisons, as cheap smoke assertions."""
+
+    def test_refer_cheapest_communication(self):
+        results = {
+            name: run_scenario(name, FAST.with_(sensor_max_speed=3.0))
+            for name in SYSTEMS
+        }
+        refer = results["REFER"].comm_energy_j
+        for name, result in results.items():
+            if name != "REFER":
+                assert result.comm_energy_j > refer
+
+    def test_construction_ordering(self):
+        results = {name: run_scenario(name, FAST) for name in SYSTEMS}
+        assert (
+            results["DaTree"].construction_energy_j
+            < results["D-DEAR"].construction_energy_j
+            < results["REFER"].construction_energy_j
+            < results["Kautz-overlay"].construction_energy_j
+        )
+
+    def test_overlay_has_highest_delay(self):
+        results = {name: run_scenario(name, FAST) for name in SYSTEMS}
+        overlay = results["Kautz-overlay"].mean_delay_s
+        for name, result in results.items():
+            if name != "Kautz-overlay":
+                assert result.mean_delay_s < overlay

@@ -1,0 +1,159 @@
+"""Tests for trace-driven workloads."""
+
+import random
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.experiments.metrics import MetricsCollector
+from repro.experiments.traces import (
+    EventTrace,
+    TraceEvent,
+    TraceWorkload,
+    burst_trace,
+    moving_target_trace,
+    poisson_trace,
+)
+from repro.util.geometry import Point
+
+
+class TestTraceFormat:
+    def test_events_sorted_by_time(self):
+        trace = EventTrace(
+            [TraceEvent(5.0, 0, 0), TraceEvent(1.0, 1, 1)]
+        )
+        assert [e.time for e in trace] == [1.0, 5.0]
+
+    def test_duration(self):
+        trace = EventTrace([TraceEvent(2.0, 0, 0), TraceEvent(7.0, 1, 1)])
+        assert trace.duration == 7.0
+        assert EventTrace([]).duration == 0.0
+
+    def test_save_load_roundtrip(self, tmp_path):
+        trace = EventTrace(
+            [
+                TraceEvent(1.5, 100.0, 200.0, 1.25),
+                TraceEvent(3.0, 50.5, 60.25),
+            ]
+        )
+        path = tmp_path / "events.trace"
+        trace.save(path)
+        loaded = EventTrace.load(path)
+        assert len(loaded) == 2
+        assert loaded.events[0].time == pytest.approx(1.5)
+        assert loaded.events[0].magnitude == pytest.approx(1.25)
+        assert loaded.events[1].magnitude == 1.0
+
+    def test_load_skips_comments_and_blanks(self, tmp_path):
+        path = tmp_path / "t.trace"
+        path.write_text("# header\n\n1.0 2.0 3.0  # trailing\n")
+        assert len(EventTrace.load(path)) == 1
+
+    def test_load_rejects_malformed(self, tmp_path):
+        path = tmp_path / "bad.trace"
+        path.write_text("1.0 2.0\n")
+        with pytest.raises(ConfigError):
+            EventTrace.load(path)
+
+    def test_position_property(self):
+        assert TraceEvent(0.0, 3.0, 4.0).position == Point(3.0, 4.0)
+
+
+class TestGenerators:
+    def test_poisson_rate(self):
+        trace = poisson_trace(2.0, 500.0, 100.0, random.Random(1))
+        # ~1000 events expected; allow generous slack.
+        assert 800 < len(trace) < 1200
+        assert all(0 <= e.x <= 100 and 0 <= e.y <= 100 for e in trace)
+
+    def test_poisson_invalid(self):
+        with pytest.raises(ConfigError):
+            poisson_trace(0.0, 10.0, 100.0, random.Random(1))
+
+    def test_moving_target_step_bound(self):
+        trace = moving_target_trace(
+            60.0, 500.0, speed=10.0, report_period=1.0,
+            rng=random.Random(2),
+        )
+        for a, b in zip(trace.events, trace.events[1:]):
+            assert a.position.distance_to(b.position) <= 10.0 + 1e-6
+
+    def test_moving_target_invalid_period(self):
+        with pytest.raises(ConfigError):
+            moving_target_trace(10, 100, 1.0, 0.0, random.Random(1))
+
+    def test_burst_trace_clusters(self):
+        centers = [Point(100, 100), Point(400, 400)]
+        trace = burst_trace(
+            centers, start=5.0, burst_duration=10.0,
+            events_per_burst=20, spread=15.0, rng=random.Random(3),
+        )
+        assert len(trace) == 40
+        near_first = sum(
+            1 for e in trace if e.position.distance_to(centers[0]) < 60
+        )
+        assert near_first >= 18
+
+    def test_generators_deterministic(self):
+        a = poisson_trace(1.0, 50.0, 100.0, random.Random(7))
+        b = poisson_trace(1.0, 50.0, 100.0, random.Random(7))
+        assert [e.time for e in a] == [e.time for e in b]
+
+
+class TestTraceWorkload:
+    def build(self, trace, sensing_range=80.0):
+        from repro.core.system import ReferSystem
+        from repro.net.energy import Phase
+        from repro.net.network import WirelessNetwork
+        from repro.sim.core import Simulator
+        from repro.wsan.deployment import plan_deployment
+        from repro.wsan.system import build_nodes
+
+        rng = random.Random(11)
+        sim = Simulator()
+        network = WirelessNetwork(sim, rng)
+        plan = plan_deployment(200, 500.0, rng)
+        build_nodes(network, plan, rng, sensor_max_speed=1.0)
+        system = ReferSystem(network, plan, rng)
+        system.build()
+        network.set_phase(Phase.COMMUNICATION)
+        system.start()
+        metrics = MetricsCollector(sim, 0.6, warmup_end=0.0)
+        workload = TraceWorkload(
+            sim, system, metrics, trace, sensing_range=sensing_range
+        )
+        return sim, system, metrics, workload
+
+    def test_replay_delivers_reports(self):
+        trace = poisson_trace(1.0, 20.0, 500.0, random.Random(5))
+        sim, system, metrics, workload = self.build(trace)
+        workload.start()
+        sim.run_until(25.0)
+        system.stop()
+        assert workload.detected_events > 0
+        assert metrics.generated > 0
+        assert metrics.delivered_qos >= 0.9 * metrics.generated
+        assert workload.coverage() > 0.9
+
+    def test_detector_cap(self):
+        trace = EventTrace([TraceEvent(1.0, 250.0, 250.0)])
+        sim, system, metrics, workload = self.build(trace)
+        workload.start()
+        sim.run_until(3.0)
+        assert metrics.generated <= 3
+
+    def test_undetected_event_counted(self):
+        # Sensing range so small no sensor can detect.
+        trace = EventTrace([TraceEvent(1.0, 250.0, 250.0)])
+        sim, system, metrics, workload = self.build(
+            trace, sensing_range=0.001
+        )
+        workload.start()
+        sim.run_until(3.0)
+        assert workload.undetected_events == 1
+        assert workload.coverage() == 0.0
+
+    def test_invalid_parameters(self):
+        trace = EventTrace([])
+        with pytest.raises(ConfigError):
+            TraceWorkload(None, None, None, trace, sensing_range=0.0)

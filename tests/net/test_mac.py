@@ -1,0 +1,105 @@
+"""Tests for the contention MAC model."""
+
+import random
+
+import pytest
+
+from repro.net.mac import ContentionMac, MacConfig
+from repro.net.medium import WirelessMedium
+from repro.net.mobility import StaticMobility
+from repro.net.node import Node, NodeRole
+from repro.net.packet import Packet, PacketKind
+from repro.sim.core import Simulator
+from repro.util.geometry import Point
+
+
+def setup(loss=0.0, contention_loss=0.0):
+    sim = Simulator()
+    medium = WirelessMedium()
+    for i in range(3):
+        medium.add_node(
+            Node(i, NodeRole.SENSOR, StaticMobility(Point(i * 50.0, 0)), 100.0)
+        )
+    cfg = MacConfig(base_loss=loss, contention_loss=contention_loss)
+    mac = ContentionMac(sim, medium, random.Random(1), cfg)
+    return sim, medium, mac
+
+
+def packet(size=1000):
+    return Packet(PacketKind.DATA, size, 0, 1, 0.0)
+
+
+class TestConfig:
+    def test_airtime(self):
+        cfg = MacConfig(bitrate_bps=2_000_000)
+        assert cfg.airtime(1000) == pytest.approx(0.004)
+
+    def test_broadcast_airtime(self):
+        sim, medium, mac = setup()
+        assert mac.broadcast_airtime(500) == MacConfig().airtime(500)
+
+
+class TestTransmit:
+    def test_success_without_loss(self):
+        sim, medium, mac = setup()
+        results = []
+        mac.transmit(0, 1, packet(), lambda ok, t: results.append((ok, t)))
+        sim.run()
+        assert results[0][0] is True
+        # Completion includes airtime + processing delay.
+        assert results[0][1] >= 0.004
+
+    def test_loss_exhausts_retries(self):
+        sim, medium, mac = setup(loss=1.0)
+        results = []
+        mac.transmit(0, 1, packet(), lambda ok, t: results.append(ok))
+        sim.run()
+        assert results == [False]
+
+    def test_retries_add_delay(self):
+        sim, medium, mac = setup(loss=0.0)
+        clean = []
+        mac.transmit(0, 1, packet(), lambda ok, t: clean.append(t))
+        sim.run()
+
+        sim2, medium2, mac2 = setup(loss=1.0)
+        lossy = []
+        mac2.transmit(0, 1, packet(), lambda ok, t: lossy.append(t))
+        sim2.run()
+        assert lossy[0] > clean[0]
+
+    def test_sender_queue_serialises(self):
+        """Back-to-back frames from one radio are serialised."""
+        sim, medium, mac = setup()
+        completions = []
+        mac.transmit(0, 1, packet(), lambda ok, t: completions.append(t))
+        mac.transmit(0, 1, packet(), lambda ok, t: completions.append(t))
+        sim.run()
+        assert completions[1] >= completions[0] + MacConfig().airtime(1000)
+
+    def test_busy_neighbors_add_backoff(self):
+        sim, medium, mac = setup()
+        medium.node(1).radio_busy_until = 100.0   # busy neighbour of 0
+        slow = []
+        mac.transmit(0, 2, packet(), lambda ok, t: slow.append(t))
+        sim.run()
+
+        sim2, medium2, mac2 = setup()
+        fast = []
+        mac2.transmit(0, 2, packet(), lambda ok, t: fast.append(t))
+        sim2.run()
+        assert slow[0] > fast[0]
+
+    def test_loss_probability_capped(self):
+        sim, medium, mac = setup(loss=0.2, contention_loss=1.0)
+        for i in (1, 2):
+            medium.node(i).radio_busy_until = 100.0
+        # With cap at MacConfig().max_loss the success probability over
+        # retries stays meaningfully positive.
+        successes = 0
+        for _ in range(50):
+            results = []
+            mac.transmit(0, 1, packet(), lambda ok, t: results.append(ok))
+            sim.run()
+            successes += bool(results[0])
+        assert successes > 25

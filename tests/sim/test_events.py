@@ -1,0 +1,69 @@
+"""Tests for the event queue."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.events import EventQueue
+
+
+class TestOrdering:
+    def test_pops_in_time_order(self):
+        q = EventQueue()
+        fired = []
+        q.push(3.0, lambda: fired.append(3))
+        q.push(1.0, lambda: fired.append(1))
+        q.push(2.0, lambda: fired.append(2))
+        while (e := q.pop()) is not None:
+            e.action()
+        assert fired == [1, 2, 3]
+
+    def test_fifo_for_equal_times(self):
+        q = EventQueue()
+        fired = []
+        for i in range(10):
+            q.push(5.0, lambda i=i: fired.append(i))
+        while (e := q.pop()) is not None:
+            e.action()
+        assert fired == list(range(10))
+
+    def test_nan_time_rejected(self):
+        with pytest.raises(SimulationError):
+            EventQueue().push(float("nan"), lambda: None)
+
+
+class TestCancellation:
+    def test_cancelled_events_are_skipped(self):
+        q = EventQueue()
+        fired = []
+        keep = q.push(1.0, lambda: fired.append("keep"))
+        drop = q.push(0.5, lambda: fired.append("drop"))
+        drop.cancel()
+        q.note_cancelled()
+        while (e := q.pop()) is not None:
+            e.action()
+        assert fired == ["keep"]
+
+    def test_len_tracks_live_events(self):
+        q = EventQueue()
+        a = q.push(1.0, lambda: None)
+        b = q.push(2.0, lambda: None)
+        assert len(q) == 2
+        a.cancel()
+        q.note_cancelled()
+        assert len(q) == 1
+        q.pop()
+        assert len(q) == 0
+
+    def test_peek_skips_cancelled(self):
+        q = EventQueue()
+        first = q.push(1.0, lambda: None)
+        q.push(2.0, lambda: None)
+        first.cancel()
+        q.note_cancelled()
+        assert q.peek_time() == 2.0
+
+    def test_empty_queue(self):
+        q = EventQueue()
+        assert q.pop() is None
+        assert q.peek_time() is None
+        assert not q

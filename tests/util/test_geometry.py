@@ -1,0 +1,93 @@
+"""Tests for 2-D geometry primitives."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.util.geometry import (
+    Point,
+    centroid,
+    clamp,
+    euclidean,
+    in_square,
+)
+
+finite = st.floats(
+    min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False
+)
+
+
+class TestPoint:
+    def test_distance(self):
+        assert Point(0, 0).distance_to(Point(3, 4)) == 5.0
+
+    def test_distance_symmetric(self):
+        a, b = Point(1, 2), Point(-4, 7)
+        assert a.distance_to(b) == b.distance_to(a)
+
+    def test_midpoint(self):
+        assert Point(0, 0).midpoint(Point(2, 4)) == Point(1, 2)
+
+    def test_translated(self):
+        assert Point(1, 1).translated(2, -1) == Point(3, 0)
+
+    def test_toward_partial(self):
+        p = Point(0, 0).toward(Point(10, 0), 4)
+        assert p == Point(4, 0)
+
+    def test_toward_overshoot_clamps_to_target(self):
+        assert Point(0, 0).toward(Point(1, 0), 100) == Point(1, 0)
+
+    def test_toward_self_is_identity(self):
+        p = Point(5, 5)
+        assert p.toward(p, 3) == p
+
+    def test_as_tuple(self):
+        assert Point(1.5, 2.5).as_tuple() == (1.5, 2.5)
+
+    def test_immutability(self):
+        p = Point(0, 0)
+        with pytest.raises(AttributeError):
+            p.x = 1
+
+    @given(finite, finite, finite, finite)
+    def test_triangle_inequality(self, x1, y1, x2, y2):
+        a, b, origin = Point(x1, y1), Point(x2, y2), Point(0, 0)
+        assert a.distance_to(b) <= (
+            a.distance_to(origin) + origin.distance_to(b) + 1e-6
+        )
+
+    @given(finite, finite, st.floats(min_value=0, max_value=1e3))
+    def test_toward_moves_at_most_distance(self, x, y, d):
+        start = Point(0, 0)
+        target = Point(x, y)
+        moved = start.toward(target, d)
+        assert start.distance_to(moved) <= d + 1e-6 or moved == target
+
+
+class TestHelpers:
+    def test_euclidean_alias(self):
+        assert euclidean(Point(0, 0), Point(0, 2)) == 2.0
+
+    def test_clamp(self):
+        assert clamp(5, 0, 10) == 5
+        assert clamp(-1, 0, 10) == 0
+        assert clamp(11, 0, 10) == 10
+
+    def test_clamp_empty_interval(self):
+        with pytest.raises(ValueError):
+            clamp(1, 2, 0)
+
+    def test_centroid(self):
+        c = centroid([Point(0, 0), Point(2, 0), Point(1, 3)])
+        assert c == Point(1, 1)
+
+    def test_centroid_empty(self):
+        with pytest.raises(ValueError):
+            centroid([])
+
+    def test_in_square(self):
+        assert in_square(Point(1, 1), 2)
+        assert not in_square(Point(3, 1), 2)
+        assert in_square(Point(0, 0), 2)

@@ -1,0 +1,56 @@
+"""Tests for deterministic per-component RNG streams."""
+
+from repro.util.rng import RngStreams
+
+
+class TestStreams:
+    def test_same_seed_same_stream(self):
+        a = RngStreams(42).stream("mobility")
+        b = RngStreams(42).stream("mobility")
+        assert [a.random() for _ in range(5)] == [
+            b.random() for _ in range(5)
+        ]
+
+    def test_streams_are_cached(self):
+        streams = RngStreams(1)
+        assert streams.stream("x") is streams.stream("x")
+
+    def test_different_names_are_independent(self):
+        streams = RngStreams(7)
+        a = [streams.stream("a").random() for _ in range(5)]
+        b = [streams.stream("b").random() for _ in range(5)]
+        assert a != b
+
+    def test_consuming_one_stream_does_not_shift_another(self):
+        ref = RngStreams(3)
+        expected = [ref.stream("b").random() for _ in range(3)]
+        mixed = RngStreams(3)
+        for _ in range(100):
+            mixed.stream("a").random()   # heavy use of a different stream
+        assert [mixed.stream("b").random() for _ in range(3)] == expected
+
+    def test_master_seed_property(self):
+        assert RngStreams(99).master_seed == 99
+
+    def test_different_seeds_differ(self):
+        a = RngStreams(1).stream("x").random()
+        b = RngStreams(2).stream("x").random()
+        assert a != b
+
+
+class TestFork:
+    def test_fork_is_deterministic(self):
+        a = RngStreams(5).fork("run-1").stream("x").random()
+        b = RngStreams(5).fork("run-1").stream("x").random()
+        assert a == b
+
+    def test_fork_differs_from_parent(self):
+        parent = RngStreams(5)
+        child = parent.fork("run-1")
+        assert parent.master_seed != child.master_seed
+
+    def test_fork_names_differ(self):
+        base = RngStreams(5)
+        assert (
+            base.fork("run-1").master_seed != base.fork("run-2").master_seed
+        )

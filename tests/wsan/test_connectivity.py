@@ -1,0 +1,119 @@
+"""Tests for Proposition 3.2's executable form."""
+
+import math
+import random
+
+import pytest
+
+from repro.util.geometry import Point
+from repro.wsan.connectivity import (
+    dirac_satisfied,
+    embedding_feasibility,
+    hamiltonian_cycle_dirac,
+    is_hamiltonian_order,
+    proximity_graph,
+)
+
+
+def scatter(n, side, rng):
+    return [
+        Point(rng.uniform(0, side), rng.uniform(0, side)) for _ in range(n)
+    ]
+
+
+class TestProximityGraph:
+    def test_edges_symmetric(self):
+        positions = scatter(20, 100.0, random.Random(1))
+        adjacency = proximity_graph(positions, 40.0)
+        for node, neighbors in adjacency.items():
+            for nb in neighbors:
+                assert node in adjacency[nb]
+
+    def test_range_zero_rejected(self):
+        with pytest.raises(Exception):
+            proximity_graph([Point(0, 0)], 0.0)
+
+    def test_full_range_is_complete(self):
+        positions = scatter(10, 50.0, random.Random(2))
+        adjacency = proximity_graph(positions, 1000.0)
+        assert all(len(nb) == 9 for nb in adjacency.values())
+
+
+class TestDirac:
+    def test_complete_graph_satisfies(self):
+        adjacency = {
+            i: {j for j in range(6) if j != i} for i in range(6)
+        }
+        assert dirac_satisfied(adjacency)
+
+    def test_cycle_graph_fails_for_large_n(self):
+        n = 8
+        adjacency = {
+            i: {(i - 1) % n, (i + 1) % n} for i in range(n)
+        }
+        assert not dirac_satisfied(adjacency)
+
+    def test_too_small(self):
+        assert not dirac_satisfied({0: {1}, 1: {0}})
+
+
+class TestPalmer:
+    def test_complete_graph_cycle(self):
+        adjacency = {
+            i: {j for j in range(7) if j != i} for i in range(7)
+        }
+        cycle = hamiltonian_cycle_dirac(adjacency)
+        assert cycle is not None
+        assert is_hamiltonian_order(adjacency, cycle)
+
+    def test_dirac_random_graphs(self):
+        """Whenever Dirac holds, Palmer must find a cycle."""
+        rng = random.Random(9)
+        found = 0
+        for trial in range(20):
+            positions = scatter(16, 100.0, random.Random(trial))
+            adjacency = proximity_graph(positions, 85.0)
+            if not dirac_satisfied(adjacency):
+                continue
+            found += 1
+            cycle = hamiltonian_cycle_dirac(adjacency)
+            assert cycle is not None, trial
+            assert is_hamiltonian_order(adjacency, cycle)
+        assert found > 5   # the range is generous enough for most trials
+
+    def test_disconnected_graph_returns_none(self):
+        adjacency = {0: {1}, 1: {0}, 2: {3}, 3: {2}}
+        assert hamiltonian_cycle_dirac(adjacency) is None
+
+    def test_verifier_rejects_wrong_orders(self):
+        adjacency = {
+            i: {j for j in range(5) if j != i} for i in range(5)
+        }
+        assert not is_hamiltonian_order(adjacency, [0, 1, 2])
+        assert not is_hamiltonian_order(adjacency, [0, 1, 2, 3, 3])
+
+
+class TestProposition32:
+    def test_sufficient_range_embeddable(self):
+        """r >= 0.8 b with enough nodes => cycle constructible."""
+        rng = random.Random(4)
+        side = 100.0
+        positions = scatter(24, side, rng)
+        report = embedding_feasibility(positions, 0.85 * side, side)
+        assert report.required_range == pytest.approx(
+            side * math.sqrt(2 / math.pi)
+        )
+        assert report.embeddable
+
+    def test_insufficient_range_usually_fails_dirac(self):
+        rng = random.Random(4)
+        side = 100.0
+        positions = scatter(24, side, rng)
+        report = embedding_feasibility(positions, 0.25 * side, side)
+        assert not report.dirac_holds
+
+    def test_report_fields(self):
+        positions = scatter(12, 50.0, random.Random(1))
+        report = embedding_feasibility(positions, 60.0, 50.0)
+        assert report.node_count == 12
+        assert report.min_degree >= 0

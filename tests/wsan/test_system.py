@@ -1,0 +1,100 @@
+"""Tests for the WsanSystem interface and node construction helper."""
+
+import random
+
+import pytest
+
+from repro.net.network import WirelessNetwork
+from repro.net.node import NodeRole
+from repro.sim.core import Simulator
+from repro.wsan.deployment import plan_deployment
+from repro.wsan.system import WsanSystem, build_nodes
+
+
+def build(sensors=50, speed=2.0, battery=None, seed=1):
+    rng = random.Random(seed)
+    sim = Simulator()
+    network = WirelessNetwork(sim, rng)
+    plan = plan_deployment(sensors, 500.0, rng)
+    build_nodes(
+        network, plan, rng,
+        sensor_max_speed=speed, battery_joules=battery,
+    )
+    return sim, network, plan
+
+
+class TestBuildNodes:
+    def test_id_convention(self):
+        sim, network, plan = build()
+        for i in range(5):
+            assert network.node(i).role is NodeRole.ACTUATOR
+        for j in range(5, 55):
+            assert network.node(j).role is NodeRole.SENSOR
+
+    def test_ranges(self):
+        sim, network, plan = build()
+        assert network.node(0).transmission_range == 250.0
+        assert network.node(10).transmission_range == 100.0
+
+    def test_actuators_are_static(self):
+        sim, network, plan = build()
+        p0 = network.node(0).position(0.0)
+        assert network.node(0).position(100.0) == p0
+
+    def test_sensors_move(self):
+        sim, network, plan = build(speed=3.0)
+        moved = sum(
+            1
+            for j in range(5, 55)
+            if network.node(j).position(50.0) != network.node(j).position(0.0)
+        )
+        assert moved > 40
+
+    def test_battery_only_on_sensors(self):
+        sim, network, plan = build(battery=100.0)
+        assert network.node(0).battery_joules is None
+        assert network.node(10).battery_joules == 100.0
+
+    def test_sensor_positions_match_plan(self):
+        sim, network, plan = build(speed=0.0)
+        for j, expected in enumerate(plan.sensor_positions):
+            assert network.node(5 + j).position(0.0) == expected
+
+
+class _MinimalSystem(WsanSystem):
+    name = "minimal"
+
+    def build(self):
+        pass
+
+    def start(self):
+        pass
+
+    def send_event(self, source_id, packet, on_delivered=None, on_dropped=None):
+        if on_delivered is not None:
+            on_delivered(packet)
+
+
+class TestWsanSystemHelpers:
+    def test_id_listings(self):
+        sim, network, plan = build()
+        system = _MinimalSystem(network, plan, random.Random(1))
+        assert system.actuator_ids == [0, 1, 2, 3, 4]
+        assert system.sensor_ids == list(range(5, 55))
+
+    def test_nearest_actuator(self):
+        sim, network, plan = build(speed=0.0)
+        system = _MinimalSystem(network, plan, random.Random(1))
+        for sensor in system.sensor_ids[:20]:
+            nearest = system.nearest_actuator(sensor)
+            pos = network.node(sensor).position(0.0)
+            best = min(
+                system.actuator_ids,
+                key=lambda a: network.node(a).position(0.0).distance_to(pos),
+            )
+            assert nearest == best
+
+    def test_stop_default_is_noop(self):
+        sim, network, plan = build()
+        system = _MinimalSystem(network, plan, random.Random(1))
+        system.stop()   # must not raise
