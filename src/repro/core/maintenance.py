@@ -112,7 +112,7 @@ class TopologyMaintenance:
         broken = (
             not node.usable
             or node.battery_fraction < self._battery_threshold
-            or current_quality == 0.0
+            or current_quality <= 0.0
         )
         if broken or current_quality < self._link_threshold:
             self._replace(

@@ -20,7 +20,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
 from repro.core.cell import EmbeddedCell
 from repro.core.ids import ReferId
 from repro.dht.can import CanOverlay
-from repro.errors import RoutingError
+from repro.errors import DHTError, KautzError, RoutingError
 from repro.kautz.disjoint import successor_table
 from repro.kautz.namespace import kautz_distance
 from repro.kautz.strings import KautzString
@@ -590,7 +590,11 @@ class ReferRouter:
         for cell in self._actuator_cells(actuator_id):
             try:
                 can_path = self.can.route(cell.cid, dest_point)
-            except Exception:
+            except (DHTError, KautzError, RoutingError):
+                # The CAN step is unrealisable from this cell right now
+                # (zone handed over after churn, greedy stall) — fall
+                # through to the next cell / the greedy CID rule.
+                # Anything else is a bug and must propagate.
                 continue
             if len(can_path) < 2:
                 continue

@@ -1,0 +1,40 @@
+"""referlint — AST-based invariant checks for the REFER codebase.
+
+The Python type system cannot see REFER's two load-bearing invariants:
+simulations must be bit-reproducible (all randomness through
+``RngStreams``, all time through the sim clock) and failures must stay
+typed (``repro.errors``) rather than being silently swallowed.  This
+package is the static-analysis pass that keeps every PR honest about
+them: a tiny, stdlib-only lint framework (single-parse multi-rule
+driver, inline suppressions, committed baselines) plus the REFER rule
+pack (REF001–REF006, see :mod:`repro.devtools.rulepack`).
+
+Run it as a CLI::
+
+    python -m repro.devtools.lint src tests
+
+or from code::
+
+    from repro.devtools import lint_paths
+    findings = lint_paths(["src"])
+"""
+
+from repro.devtools.baseline import Baseline
+from repro.devtools.driver import lint_file, lint_paths, lint_source
+from repro.devtools.findings import ERROR, WARNING, Finding
+from repro.devtools.rules import REGISTRY, Rule, RuleContext, all_rules, register
+
+__all__ = [
+    "Baseline",
+    "ERROR",
+    "Finding",
+    "REGISTRY",
+    "Rule",
+    "RuleContext",
+    "WARNING",
+    "all_rules",
+    "lint_file",
+    "lint_paths",
+    "lint_source",
+    "register",
+]

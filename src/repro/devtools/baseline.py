@@ -1,0 +1,89 @@
+"""Baseline files: grandfathering pre-existing findings.
+
+A baseline is a committed JSON file listing findings that existed when
+the linter (or a new rule) was introduced.  Linting then only fails on
+findings *not* in the baseline, so a new rule can land immediately
+while its backlog is burned down incrementally.
+
+Matching is by :meth:`Finding.baseline_key` — rule id, path and message,
+deliberately **not** the line number — with multiset semantics: a
+baseline entry absorbs at most as many identical findings as were
+recorded, so duplicating a grandfathered violation still fails.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from typing import Iterable, List, Tuple
+
+from repro.devtools.findings import Finding
+
+#: File name auto-discovered in the working directory when ``--baseline``
+#: is not given.
+DEFAULT_BASELINE_NAME = "referlint-baseline.json"
+
+_FORMAT_VERSION = 1
+
+
+class Baseline:
+    """A multiset of grandfathered finding keys."""
+
+    def __init__(self, keys: Iterable[str] = ()) -> None:
+        self._counts = Counter(keys)
+
+    def __len__(self) -> int:
+        return sum(self._counts.values())
+
+    @classmethod
+    def from_findings(cls, findings: Iterable[Finding]) -> "Baseline":
+        """The baseline that grandfathers exactly ``findings``."""
+        return cls(f.baseline_key() for f in findings)
+
+    @classmethod
+    def load(cls, path: str) -> "Baseline":
+        """Read a baseline file written by :meth:`save`."""
+        with open(path, "r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+        if payload.get("version") != _FORMAT_VERSION:
+            raise ValueError(
+                f"unsupported baseline version in {path}: "
+                f"{payload.get('version')!r}"
+            )
+        keys: List[str] = []
+        for entry in payload.get("findings", []):
+            keys.extend([entry["key"]] * int(entry.get("count", 1)))
+        return cls(keys)
+
+    def save(self, path: str) -> None:
+        """Write the baseline as stable, diff-friendly JSON."""
+        payload = {
+            "version": _FORMAT_VERSION,
+            "findings": [
+                {"key": key, "count": count}
+                for key, count in sorted(self._counts.items())
+            ],
+        }
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+
+    def split(
+        self, findings: Iterable[Finding]
+    ) -> Tuple[List[Finding], List[Finding]]:
+        """Partition findings into ``(new, baselined)``.
+
+        Consumes baseline entries as it matches, so N grandfathered
+        copies of a finding absorb at most N occurrences.
+        """
+        remaining = Counter(self._counts)
+        new: List[Finding] = []
+        baselined: List[Finding] = []
+        for finding in findings:
+            key = finding.baseline_key()
+            if remaining.get(key, 0) > 0:
+                remaining[key] -= 1
+                baselined.append(finding)
+            else:
+                new.append(finding)
+        return new, baselined

@@ -1,0 +1,160 @@
+"""The single-parse, multi-rule lint driver.
+
+Each file is read and parsed **once**; every AST node is dispatched to
+every registered rule that declared interest in its type, then each
+rule gets a whole-module ``finish`` pass.  The driver also implements
+inline suppressions::
+
+    risky_call()  # referlint: disable=REF001
+    # referlint: disable-next-line=REF002,REF004
+    t = wall_clock()
+    anything_at_all()  # referlint: disable
+
+A bare ``disable`` (no ``=RULES``) suppresses every rule on that line.
+Suppression comments are honoured per physical line of the *reported*
+finding, so multi-line statements suppress at the line the finding is
+anchored to.
+
+Files that fail to parse produce a single :data:`PARSE_ERROR` finding
+instead of crashing the run — a broken file must fail CI, not the
+linter.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+import re
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Type
+
+from repro.devtools.findings import Finding
+from repro.devtools.rules import Rule, RuleContext, all_rules
+
+#: Pseudo-rule id for files the driver could not parse.
+PARSE_ERROR = "REF000"
+
+#: Directories never descended into when expanding path arguments.
+_SKIP_DIRS = {"__pycache__", ".git", ".hg", ".tox", ".venv", "node_modules"}
+
+_SUPPRESS_RE = re.compile(
+    r"#\s*referlint:\s*(disable(?:-next-line)?)\s*(?:=\s*([A-Za-z0-9_,\s]+))?"
+)
+
+#: Sentinel meaning "every rule" in the suppression map.
+_ALL = "*"
+
+
+def iter_python_files(paths: Sequence[str]) -> Iterator[str]:
+    """Expand files/directories into a sorted stream of ``.py`` paths."""
+    for path in paths:
+        if os.path.isdir(path):
+            for dirpath, dirnames, filenames in os.walk(path):
+                dirnames[:] = sorted(
+                    d for d in dirnames
+                    if d not in _SKIP_DIRS and not d.startswith(".")
+                )
+                for filename in sorted(filenames):
+                    if filename.endswith(".py"):
+                        yield os.path.join(dirpath, filename)
+        else:
+            yield path
+
+
+def suppressions_by_line(source: str) -> Dict[int, Set[str]]:
+    """Map 1-based line number → set of suppressed rule ids (or ``*``)."""
+    table: Dict[int, Set[str]] = {}
+    for lineno, line in enumerate(source.splitlines(), start=1):
+        match = _SUPPRESS_RE.search(line)
+        if match is None:
+            continue
+        directive, rule_list = match.groups()
+        target = lineno + 1 if directive.endswith("next-line") else lineno
+        rules = (
+            {r.strip().upper() for r in rule_list.split(",") if r.strip()}
+            if rule_list
+            else {_ALL}
+        )
+        table.setdefault(target, set()).update(rules)
+    return table
+
+
+def _is_suppressed(finding: Finding, table: Dict[int, Set[str]]) -> bool:
+    suppressed = table.get(finding.line)
+    if not suppressed:
+        return False
+    return _ALL in suppressed or finding.rule_id in suppressed
+
+
+def lint_source(
+    source: str,
+    path: str,
+    rules: Optional[Sequence[Rule]] = None,
+) -> List[Finding]:
+    """Lint one in-memory module; ``path`` scopes path-sensitive rules."""
+    ctx = RuleContext(path, source)
+    if rules is None:
+        rules = all_rules()
+    active = [rule for rule in rules if rule.applies_to(ctx)]
+    try:
+        tree = ast.parse(source)
+    except SyntaxError as exc:
+        ctx.findings.append(
+            Finding(
+                path=ctx.path,
+                line=exc.lineno or 1,
+                col=(exc.offset or 1),
+                rule_id=PARSE_ERROR,
+                message=f"file does not parse: {exc.msg}",
+            )
+        )
+        return ctx.findings
+    dispatch: Dict[Type[ast.AST], List[Rule]] = {}
+    for rule in active:
+        for node_type in rule.node_types:
+            dispatch.setdefault(node_type, []).append(rule)
+    if dispatch:
+        for node in ast.walk(tree):
+            for rule in dispatch.get(type(node), ()):
+                rule.visit(node, ctx)
+    for rule in active:
+        rule.finish(tree, ctx)
+    table = suppressions_by_line(source)
+    return sorted(f for f in ctx.findings if not _is_suppressed(f, table))
+
+
+def lint_file(path: str, rules: Optional[Sequence[Rule]] = None) -> List[Finding]:
+    """Lint one file on disk (read errors become findings, not crashes)."""
+    display = os.path.relpath(path) if not os.path.isabs(path) else path
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            source = handle.read()
+    except (OSError, UnicodeDecodeError) as exc:
+        ctx = RuleContext(display, "")
+        return [
+            Finding(
+                path=ctx.path,
+                line=1,
+                col=1,
+                rule_id=PARSE_ERROR,
+                message=f"file is unreadable: {exc}",
+            )
+        ]
+    return lint_source(source, display, rules)
+
+
+def lint_paths(
+    paths: Iterable[str],
+    rules: Optional[Sequence[Rule]] = None,
+) -> List[Finding]:
+    """Lint every ``.py`` file under ``paths``; findings sorted for output.
+
+    Rule instances are shared across files (rules are stateless between
+    files by construction — all per-file state lives in the context), so
+    the registry is consulted once per run, not once per file.
+    """
+    if rules is None:
+        rules = all_rules()
+    findings: List[Finding] = []
+    for path in iter_python_files(list(paths)):
+        findings.extend(lint_file(path, rules))
+    return sorted(findings)

@@ -1,0 +1,178 @@
+"""The referlint command line: ``python -m repro.devtools.lint``.
+
+Usage::
+
+    python -m repro.devtools.lint [--format text|json] [paths...]
+
+Lints every ``.py`` file under the given paths (default: the current
+directory) with the full REFER rule pack and prints findings.  Exit
+codes are CI-oriented:
+
+* ``0`` — no non-baselined findings,
+* ``1`` — at least one new finding (or a file that does not parse),
+* ``2`` — the linter itself was misused (bad arguments, missing files).
+
+A ``referlint-baseline.json`` in the working directory is picked up
+automatically; ``--baseline`` points elsewhere, ``--no-baseline``
+ignores it, and ``--write-baseline`` (re)grandfathers the current
+findings so a new rule can land before its backlog is fixed.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from typing import List, Optional, Sequence
+
+from repro.devtools.baseline import DEFAULT_BASELINE_NAME, Baseline
+from repro.devtools.driver import lint_paths
+from repro.devtools.findings import Finding
+from repro.devtools.rules import Rule, all_rules
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.devtools.lint",
+        description="referlint: AST-based invariant checks for REFER.",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=None,
+        help="files or directories to lint (default: current directory)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="output format (default: text)",
+    )
+    parser.add_argument(
+        "--baseline",
+        default=None,
+        metavar="FILE",
+        help=f"baseline file (default: ./{DEFAULT_BASELINE_NAME} if present)",
+    )
+    parser.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="ignore any baseline file",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="write current findings to the baseline file and exit 0",
+    )
+    parser.add_argument(
+        "--select",
+        default=None,
+        metavar="IDS",
+        help="comma-separated rule ids to run (default: all)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule table and exit",
+    )
+    return parser
+
+
+def _select_rules(spec: Optional[str]) -> List[Rule]:
+    rules = all_rules()
+    if spec is None:
+        return rules
+    wanted = {rule_id.strip().upper() for rule_id in spec.split(",") if rule_id.strip()}
+    known = {rule.rule_id for rule in rules}
+    unknown = wanted - known
+    if unknown:
+        raise SystemExit(
+            f"referlint: unknown rule id(s): {', '.join(sorted(unknown))}"
+        )
+    return [rule for rule in rules if rule.rule_id in wanted]
+
+
+def _print_rule_table(rules: Sequence[Rule]) -> None:
+    width = max(len(rule.title) for rule in rules)
+    for rule in rules:
+        print(f"{rule.rule_id}  {rule.title.ljust(width)}  {rule.rationale}")
+
+
+def _emit(
+    fmt: str,
+    new: Sequence[Finding],
+    baselined: Sequence[Finding],
+) -> None:
+    if fmt == "json":
+        print(
+            json.dumps(
+                {
+                    "findings": [f.to_dict() for f in new],
+                    "baselined": len(baselined),
+                    "count": len(new),
+                },
+                indent=2,
+            )
+        )
+        return
+    for finding in new:
+        print(finding.format_text())
+    summary = f"{len(new)} finding(s)"
+    if baselined:
+        summary += f" ({len(baselined)} baselined and hidden)"
+    print(summary)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point; returns the process exit code."""
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+
+    try:
+        rules = _select_rules(args.select)
+    except SystemExit as exc:
+        if isinstance(exc.code, str):
+            print(exc.code, file=sys.stderr)
+            return 2
+        raise
+    if args.list_rules:
+        _print_rule_table(rules)
+        return 0
+
+    paths = args.paths or ["."]
+    missing = [p for p in paths if not os.path.exists(p)]
+    if missing:
+        print(
+            f"referlint: no such file or directory: {', '.join(missing)}",
+            file=sys.stderr,
+        )
+        return 2
+
+    findings = lint_paths(paths, rules)
+
+    baseline_path = args.baseline
+    if baseline_path is None and os.path.exists(DEFAULT_BASELINE_NAME):
+        baseline_path = DEFAULT_BASELINE_NAME
+
+    if args.write_baseline:
+        target = baseline_path or DEFAULT_BASELINE_NAME
+        Baseline.from_findings(findings).save(target)
+        print(f"referlint: wrote {len(findings)} finding(s) to {target}")
+        return 0
+
+    baseline = Baseline()
+    if not args.no_baseline and baseline_path is not None:
+        try:
+            baseline = Baseline.load(baseline_path)
+        except (OSError, ValueError, KeyError) as exc:
+            print(f"referlint: cannot read baseline: {exc}", file=sys.stderr)
+            return 2
+
+    new, baselined = baseline.split(findings)
+    _emit(args.format, new, baselined)
+    return 1 if new else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,348 @@
+"""The REFER rule pack: the invariants the type system cannot see.
+
+Importing this module registers every built-in rule (REF001–REF006)
+with :mod:`repro.devtools.rules`.  The ids are stable — suppression
+comments and baseline files reference them — so rules are never
+renumbered, only retired.
+
+Scope conventions:
+
+* *Library rules* (REF001, REF002, REF004) skip test files — tests
+  legitimately assert exact floats of deterministic runs and may drive
+  ``random.Random`` instances directly.
+* *Universal rules* (REF003, REF005, REF006) run everywhere: silently
+  swallowed exceptions and mutable defaults are as harmful in a test
+  as in the library.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Set
+
+from repro.devtools.rules import Rule, RuleContext, dotted_name, register
+
+
+@register
+class NoGlobalRandom(Rule):
+    """REF001 — randomness must flow through ``RngStreams``.
+
+    Calls to the module-level functions of :mod:`random`
+    (``random.random()``, ``random.seed()``, …) consume the interpreter's
+    *shared* global generator: one stray draw anywhere perturbs every
+    downstream component and destroys bit-reproducibility — exactly what
+    the per-component streams in ``repro.util.rng`` exist to prevent.
+    Constructing ``random.Random(seed)`` instances (and annotating with
+    ``random.Random``) stays legal; so does calling methods on such an
+    instance.
+    """
+
+    rule_id = "REF001"
+    title = "no global random.* calls"
+    rationale = (
+        "the shared global RNG breaks bit-reproducibility; "
+        "use a named RngStreams stream"
+    )
+    node_types = (ast.Call, ast.ImportFrom)
+
+    def applies_to(self, ctx: RuleContext) -> bool:
+        return not ctx.is_test_file
+
+    def visit(self, node: ast.AST, ctx: RuleContext) -> None:
+        if isinstance(node, ast.ImportFrom):
+            if node.module != "random" or node.level:
+                return
+            for alias in node.names:
+                if alias.name != "Random":
+                    ctx.report(
+                        self,
+                        node,
+                        f"'from random import {alias.name}' bypasses "
+                        "RngStreams; import the module and pass "
+                        "random.Random instances instead",
+                    )
+            return
+        func = node.func  # type: ignore[attr-defined]
+        if (
+            isinstance(func, ast.Attribute)
+            and isinstance(func.value, ast.Name)
+            and func.value.id == "random"
+            and func.attr != "Random"
+        ):
+            ctx.report(
+                self,
+                node,
+                f"call to global random.{func.attr}(); draw from a named "
+                "RngStreams stream instead",
+            )
+
+
+#: Wall-clock entry points, in every spelling the codebase could import.
+_WALL_CLOCK_CALLS = frozenset(
+    {
+        "time.time",
+        "time.time_ns",
+        "time.monotonic",
+        "time.monotonic_ns",
+        "time.perf_counter",
+        "time.perf_counter_ns",
+        "time.process_time",
+        "datetime.datetime.now",
+        "datetime.datetime.utcnow",
+        "datetime.datetime.today",
+        "datetime.date.today",
+        "datetime.now",
+        "datetime.utcnow",
+        "datetime.today",
+        "date.today",
+    }
+)
+
+
+@register
+class NoWallClock(Rule):
+    """REF002 — simulation subsystems read time from the sim clock only.
+
+    Inside ``sim/``, ``net/``, ``core/`` and ``wsan/`` every timestamp
+    must come from ``Simulator.now``: a single ``time.time()`` makes
+    latency, deadlines and event ordering depend on the host machine and
+    silently kills run-to-run reproducibility.
+    """
+
+    rule_id = "REF002"
+    title = "no wall-clock time in simulation code"
+    rationale = "sim/net/core/wsan must use the simulation clock (sim.now)"
+    node_types = (ast.Call,)
+
+    def applies_to(self, ctx: RuleContext) -> bool:
+        return not ctx.is_test_file and ctx.in_directory(
+            "sim", "net", "core", "wsan"
+        )
+
+    def visit(self, node: ast.AST, ctx: RuleContext) -> None:
+        name = dotted_name(node.func)  # type: ignore[attr-defined]
+        if name in _WALL_CLOCK_CALLS:
+            ctx.report(
+                self,
+                node,
+                f"wall-clock call {name}(); simulation code must use the "
+                "sim clock (Simulator.now)",
+            )
+
+
+def _is_broad_handler(handler: ast.ExceptHandler) -> bool:
+    """Bare ``except:`` or any handler catching (Base)Exception."""
+    if handler.type is None:
+        return True
+    types = (
+        handler.type.elts
+        if isinstance(handler.type, ast.Tuple)
+        else [handler.type]
+    )
+    return any(
+        isinstance(t, ast.Name) and t.id in ("Exception", "BaseException")
+        for t in types
+    )
+
+
+@register
+class NoSilentExcept(Rule):
+    """REF003 — never swallow broad exceptions silently.
+
+    A ``except Exception:`` whose whole body is ``pass``/``continue``
+    turns *every* bug — typos, broken invariants, API misuse — into a
+    silent behaviour change (in routing: "no candidate found").  REFER's
+    local fault recovery (Section III-C2) depends on failure causes
+    staying distinguishable, so broad catches must either handle, log,
+    re-raise, or be narrowed to the typed ``ReproError`` subclasses.
+    """
+
+    rule_id = "REF003"
+    title = "no silent broad except"
+    rationale = (
+        "except Exception: pass hides real bugs; catch the typed "
+        "repro.errors classes instead"
+    )
+    node_types = (ast.ExceptHandler,)
+
+    def visit(self, node: ast.AST, ctx: RuleContext) -> None:
+        handler = node  # type: ignore[assignment]
+        if not _is_broad_handler(handler):
+            return
+        if all(
+            isinstance(stmt, (ast.Pass, ast.Continue)) for stmt in handler.body
+        ):
+            what = (
+                "bare except:"
+                if handler.type is None
+                else "broad except"
+            )
+            ctx.report(
+                self,
+                handler,
+                f"{what} with a body of only pass/continue silently "
+                "swallows all errors; catch specific exception types",
+            )
+
+
+@register
+class NoFloatLiteralEquality(Rule):
+    """REF004 — no ``==``/``!=`` against float literals.
+
+    Time, energy and link-quality values are accumulated floats;
+    comparing them for exact equality with a literal (``remaining ==
+    0.0``) is one rounding error away from a missed branch.  Use an
+    ordering form (``<= 0.0``) or an explicit tolerance.
+    """
+
+    rule_id = "REF004"
+    title = "no float-literal equality comparison"
+    rationale = (
+        "accumulated time/energy floats must be compared with "
+        "orderings or tolerances, not == literal"
+    )
+    node_types = (ast.Compare,)
+
+    def applies_to(self, ctx: RuleContext) -> bool:
+        return not ctx.is_test_file
+
+    def visit(self, node: ast.AST, ctx: RuleContext) -> None:
+        compare = node  # type: ignore[assignment]
+        operands = [compare.left] + list(compare.comparators)
+        for i, op in enumerate(compare.ops):
+            if not isinstance(op, (ast.Eq, ast.NotEq)):
+                continue
+            for side in (operands[i], operands[i + 1]):
+                if isinstance(side, ast.Constant) and type(side.value) is float:
+                    ctx.report(
+                        self,
+                        compare,
+                        f"equality comparison against float literal "
+                        f"{side.value!r}; use an ordering or tolerance",
+                    )
+                    return
+
+
+@register
+class NoMutableDefault(Rule):
+    """REF005 — no mutable default arguments.
+
+    A ``def f(acc=[])`` default is evaluated once and shared across
+    every call; in a long-lived simulation that is cross-run state
+    leakage.  Default to ``None`` and construct inside the body.
+    """
+
+    rule_id = "REF005"
+    title = "no mutable default arguments"
+    rationale = "shared mutable defaults leak state between calls/runs"
+    node_types = (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+
+    _MUTABLE_CALLS = {"list", "dict", "set", "bytearray", "defaultdict"}
+
+    def _is_mutable(self, default: ast.AST) -> bool:
+        if isinstance(default, (ast.List, ast.Dict, ast.Set, ast.ListComp,
+                                ast.DictComp, ast.SetComp)):
+            return True
+        if isinstance(default, ast.Call):
+            func = default.func
+            name = func.id if isinstance(func, ast.Name) else (
+                func.attr if isinstance(func, ast.Attribute) else None
+            )
+            return name in self._MUTABLE_CALLS
+        return False
+
+    def visit(self, node: ast.AST, ctx: RuleContext) -> None:
+        args = node.args  # type: ignore[attr-defined]
+        defaults = list(args.defaults) + [
+            d for d in args.kw_defaults if d is not None
+        ]
+        for default in defaults:
+            if self._is_mutable(default):
+                ctx.report(
+                    self,
+                    default,
+                    "mutable default argument; use None and construct "
+                    "inside the function body",
+                )
+
+
+@register
+class ExportsResolveAndDocumented(Rule):
+    """REF006 — ``__all__`` entries must exist and be documented.
+
+    An ``__all__`` naming something the module never defines makes
+    ``from pkg import *`` raise at import time; an undocumented export
+    is an API surface nobody explained.  Every entry must resolve to a
+    top-level definition or import, and entries defined *in this module*
+    as functions/classes must carry a docstring.
+    """
+
+    rule_id = "REF006"
+    title = "__all__ exports exist and are documented"
+    rationale = (
+        "stale __all__ breaks star-imports; exported defs/classes "
+        "need docstrings"
+    )
+
+    def finish(self, tree: ast.Module, ctx: RuleContext) -> None:
+        all_node = None
+        exported = None
+        for stmt in tree.body:
+            if (
+                isinstance(stmt, ast.Assign)
+                and len(stmt.targets) == 1
+                and isinstance(stmt.targets[0], ast.Name)
+                and stmt.targets[0].id == "__all__"
+                and isinstance(stmt.value, (ast.List, ast.Tuple))
+            ):
+                values = stmt.value.elts
+                if all(
+                    isinstance(e, ast.Constant) and isinstance(e.value, str)
+                    for e in values
+                ):
+                    all_node = stmt
+                    exported = [e.value for e in values]
+        if exported is None:
+            return
+        defined: Set[str] = set()
+        documented_defs: Set[str] = set()
+        undocumented_defs: Set[str] = set()
+        for stmt in tree.body:
+            if isinstance(
+                stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+            ):
+                defined.add(stmt.name)
+                if ast.get_docstring(stmt):
+                    documented_defs.add(stmt.name)
+                else:
+                    undocumented_defs.add(stmt.name)
+            elif isinstance(stmt, ast.Assign):
+                for target in stmt.targets:
+                    for name_node in ast.walk(target):
+                        if isinstance(name_node, ast.Name):
+                            defined.add(name_node.id)
+            elif isinstance(stmt, ast.AnnAssign):
+                if isinstance(stmt.target, ast.Name):
+                    defined.add(stmt.target.id)
+            elif isinstance(stmt, (ast.Import, ast.ImportFrom)):
+                for alias in stmt.names:
+                    if alias.name == "*":
+                        continue
+                    defined.add(
+                        alias.asname or alias.name.split(".")[0]
+                    )
+        for name in exported:
+            if name not in defined:
+                ctx.report(
+                    self,
+                    all_node,
+                    f"__all__ exports {name!r} which is never defined "
+                    "or imported in this module",
+                )
+            elif name in undocumented_defs:
+                ctx.report(
+                    self,
+                    all_node,
+                    f"__all__ exports {name!r} but its definition has "
+                    "no docstring",
+                )

@@ -11,6 +11,10 @@ import math
 from dataclasses import dataclass
 from typing import Iterable, Tuple
 
+#: Distances below this are treated as "already there": guards the
+#: degenerate self-to-self step without exact float equality.
+_EPSILON = 1e-12
+
 
 @dataclass(frozen=True)
 class Point:
@@ -39,7 +43,7 @@ class Point:
         overshooting a waypoint.
         """
         remaining = self.distance_to(target)
-        if remaining <= distance or remaining == 0.0:
+        if remaining <= max(distance, _EPSILON):
             return target
         frac = distance / remaining
         return Point(

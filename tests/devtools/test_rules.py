@@ -1,0 +1,221 @@
+"""Positive and negative cases for every rule in the REFER pack.
+
+Each rule gets at least one snippet it must flag and one it must not.
+Snippets are linted as in-memory sources with a path chosen to land in
+(or out of) the rule's scope.
+"""
+
+import pytest
+
+from repro.devtools import lint_source
+
+LIB = "src/repro/net/example.py"      # library file, sim-scoped dir
+UTIL = "src/repro/util/example.py"    # library file, not sim-scoped
+TEST = "tests/net/test_example.py"    # test file
+
+
+def ids(findings):
+    return [f.rule_id for f in findings]
+
+
+def lint(source, path=LIB):
+    return lint_source(source, path)
+
+
+class TestRef001GlobalRandom:
+    def test_flags_global_random_call(self):
+        findings = lint("import random\nx = random.random()\n")
+        assert ids(findings) == ["REF001"]
+        assert findings[0].line == 2
+
+    def test_flags_random_seed(self):
+        assert ids(lint("import random\nrandom.seed(7)\n")) == ["REF001"]
+
+    def test_flags_from_import_of_draw_function(self):
+        assert ids(lint("from random import randint\n")) == ["REF001"]
+
+    def test_allows_random_random_instances(self):
+        source = (
+            "import random\n"
+            "def f(rng: random.Random) -> float:\n"
+            "    return rng.random()\n"
+            "r = random.Random(42)\n"
+        )
+        assert lint(source) == []
+
+    def test_allows_from_random_import_random_class(self):
+        assert lint("from random import Random\nr = Random(1)\n") == []
+
+    def test_annotation_only_usage_is_legal(self):
+        assert lint("import random\nrng: random.Random\n") == []
+
+    def test_skips_test_files(self):
+        assert lint("import random\nx = random.random()\n", path=TEST) == []
+
+
+class TestRef002WallClock:
+    def test_flags_time_time_in_sim_scope(self):
+        findings = lint("import time\nnow = time.time()\n")
+        assert ids(findings) == ["REF002"]
+
+    def test_flags_datetime_now(self):
+        source = "from datetime import datetime\nt = datetime.now()\n"
+        assert ids(lint(source)) == ["REF002"]
+
+    def test_flags_time_monotonic(self):
+        assert ids(lint("import time\nt = time.monotonic()\n")) == ["REF002"]
+
+    def test_allows_sim_clock(self):
+        assert lint("def f(sim):\n    return sim.now\n") == []
+
+    def test_allows_wall_clock_outside_sim_dirs(self):
+        # experiments/ and util/ may timestamp reports with real time.
+        assert lint("import time\nt = time.time()\n", path=UTIL) == []
+
+    def test_skips_test_files(self):
+        assert lint("import time\nt = time.time()\n", path=TEST) == []
+
+
+class TestRef003SilentExcept:
+    def test_flags_except_exception_pass(self):
+        source = "try:\n    f()\nexcept Exception:\n    pass\n"
+        findings = lint(source)
+        assert ids(findings) == ["REF003"]
+        assert findings[0].line == 3
+
+    def test_flags_bare_except_continue(self):
+        source = (
+            "for x in xs:\n"
+            "    try:\n"
+            "        f(x)\n"
+            "    except:\n"
+            "        continue\n"
+        )
+        assert ids(lint(source)) == ["REF003"]
+
+    def test_flags_tuple_containing_exception(self):
+        source = "try:\n    f()\nexcept (ValueError, Exception):\n    pass\n"
+        assert ids(lint(source)) == ["REF003"]
+
+    def test_allows_narrow_except_pass(self):
+        source = "try:\n    f()\nexcept KeyError:\n    pass\n"
+        assert lint(source) == []
+
+    def test_allows_broad_except_with_real_body(self):
+        source = "try:\n    f()\nexcept Exception:\n    log()\n    raise\n"
+        assert lint(source) == []
+
+    def test_applies_to_test_files_too(self):
+        source = "try:\n    f()\nexcept Exception:\n    pass\n"
+        assert ids(lint(source, path=TEST)) == ["REF003"]
+
+
+class TestRef004FloatEquality:
+    def test_flags_eq_against_float_literal(self):
+        assert ids(lint("ok = remaining == 0.0\n")) == ["REF004"]
+
+    def test_flags_noteq_and_reversed_operands(self):
+        assert ids(lint("ok = 1.0 != quality\n")) == ["REF004"]
+
+    def test_one_finding_per_comparison(self):
+        assert ids(lint("ok = 0.0 == x == 1.0\n")) == ["REF004"]
+
+    def test_allows_ordering_comparisons(self):
+        assert lint("ok = remaining <= 0.0 or quality >= 1.0\n") == []
+
+    def test_allows_integer_equality(self):
+        assert lint("ok = count == 0\n") == []
+
+    def test_allows_float_variable_equality(self):
+        # Literal-free equality (e.g. snapshot comparisons) is out of
+        # scope for REF004.
+        assert lint("ok = a == b\n") == []
+
+    def test_skips_test_files(self):
+        assert lint("assert stat.mean == 0.0\n", path=TEST) == []
+
+
+class TestRef005MutableDefault:
+    def test_flags_list_literal_default(self):
+        assert ids(lint("def f(acc=[]):\n    return acc\n")) == ["REF005"]
+
+    def test_flags_dict_call_default(self):
+        assert ids(lint("def f(cfg=dict()):\n    return cfg\n")) == ["REF005"]
+
+    def test_flags_kwonly_set_default(self):
+        source = "def f(*, seen={1}):\n    return seen\n"
+        assert ids(lint(source)) == ["REF005"]
+
+    def test_flags_lambda_default(self):
+        assert ids(lint("g = lambda xs=[]: xs\n")) == ["REF005"]
+
+    def test_allows_none_default(self):
+        source = (
+            "def f(acc=None):\n"
+            "    if acc is None:\n"
+            "        acc = []\n"
+            "    return acc\n"
+        )
+        assert lint(source) == []
+
+    def test_allows_immutable_defaults(self):
+        assert lint("def f(a=0, b=(), c='x', d=frozenset()):\n    pass\n") == []
+
+    def test_applies_to_test_files_too(self):
+        assert ids(lint("def f(acc=[]):\n    pass\n", path=TEST)) == ["REF005"]
+
+
+class TestRef006Exports:
+    def test_flags_missing_export(self):
+        source = "__all__ = ['ghost']\n"
+        findings = lint(source)
+        assert ids(findings) == ["REF006"]
+        assert "ghost" in findings[0].message
+
+    def test_flags_undocumented_exported_function(self):
+        source = (
+            "__all__ = ['f']\n"
+            "def f():\n"
+            "    return 1\n"
+        )
+        findings = lint(source)
+        assert ids(findings) == ["REF006"]
+        assert "docstring" in findings[0].message
+
+    def test_allows_documented_defs_and_imports(self):
+        source = (
+            "from os.path import join\n"
+            "import sys\n"
+            "__all__ = ['join', 'sys', 'VERSION', 'f', 'C']\n"
+            "VERSION = '1.0'\n"
+            "def f():\n"
+            "    '''Documented.'''\n"
+            "class C:\n"
+            "    '''Documented.'''\n"
+        )
+        assert lint(source) == []
+
+    def test_allows_aliased_import_export(self):
+        source = "import os.path as p\n__all__ = ['p']\n"
+        assert lint(source) == []
+
+    def test_module_without_all_is_ignored(self):
+        assert lint("def undocumented():\n    pass\n") == []
+
+    def test_dynamic_all_is_ignored(self):
+        # A computed __all__ cannot be checked statically; stay silent.
+        assert lint("__all__ = sorted(globals())\n") == []
+
+
+class TestScopeClassification:
+    @pytest.mark.parametrize(
+        "path",
+        ["tests/net/x.py", "src/repro/net/test_thing.py", "conftest.py"],
+    )
+    def test_test_paths_skip_library_rules(self, path):
+        assert lint_source("x = 1.0 == y\n", path) == []
+
+    def test_windows_separators_are_normalised(self):
+        findings = lint_source("x = y == 0.0\n", "src\\repro\\net\\m.py")
+        assert ids(findings) == ["REF004"]
+        assert findings[0].path == "src/repro/net/m.py"

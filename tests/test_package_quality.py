@@ -1,16 +1,21 @@
-"""Package-level quality gates: docstrings, exports, imports.
+"""Package-level quality gates: docstrings, exports, imports, referlint.
 
 Cheap meta-tests that keep the library presentable: every public
 module documents itself, every ``__init__`` export actually resolves,
-and the package imports cleanly without side effects.
+the package imports cleanly without side effects, and the whole tree
+passes the referlint invariant checks (``repro.devtools``).
 """
 
+import dataclasses
 import importlib
+import pathlib
 import pkgutil
 
 import pytest
 
 import repro
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
 
 MODULES = [
     name
@@ -43,6 +48,7 @@ def test_every_module_has_a_docstring(module_name):
         "repro.baselines",
         "repro.experiments",
         "repro.viz",
+        "repro.devtools",
     ],
 )
 def test_all_exports_resolve(package_name):
@@ -65,6 +71,37 @@ def test_no_module_requires_third_party_runtime_deps():
         importlib.import_module(module_name)
     loaded = [b for b in banned if b in sys.modules]
     assert not loaded, f"runtime package imported {loaded}"
+
+
+def test_referlint_reports_zero_new_findings():
+    """The repo-cleanliness gate: the tree passes its own linter.
+
+    Lints ``src`` and ``tests`` with the full REFER rule pack and fails
+    on any finding not grandfathered by the committed baseline — so a
+    planted violation (say, a raw ``random.random()`` call in
+    ``src/repro/net/``) fails the suite, not just the CLI.
+    """
+    from repro.devtools import Baseline, lint_paths
+
+    findings = lint_paths([str(REPO_ROOT / "src"), str(REPO_ROOT / "tests")])
+    # Baseline keys are repo-root-relative; normalise the absolute
+    # paths this test lints with.
+    findings = [
+        dataclasses.replace(
+            f, path=str(pathlib.PurePosixPath(f.path).relative_to(REPO_ROOT))
+        )
+        for f in findings
+    ]
+    baseline_file = REPO_ROOT / "referlint-baseline.json"
+    baseline = (
+        Baseline.load(str(baseline_file))
+        if baseline_file.exists()
+        else Baseline()
+    )
+    new, _ = baseline.split(findings)
+    assert not new, "referlint findings:\n" + "\n".join(
+        f.format_text() for f in new
+    )
 
 
 def test_public_classes_have_docstrings():
