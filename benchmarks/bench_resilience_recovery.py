@@ -1,0 +1,72 @@
+"""Resilience campaign: recovery time and degradation under chaos.
+
+Sweeps fault class x intensity for all four systems with the chaos
+subsystem (``repro.chaos``) and reports, per cell, the delivery ratio
+under fault, the windowed delivery trough, the mean time-to-recovery,
+and the communication-phase flooding energy.  The headline claim under
+test: REFER recovers through **local** repair — zero route-discovery
+floods — while the tree/cluster baselines pay a flood per repair.
+
+Effort knobs are the shared bench environment variables
+(``REFER_BENCH_SEEDS``, ``REFER_BENCH_SIM_TIME``, ``REFER_BENCH_RATE``)
+plus ``REFER_BENCH_FAULT_CLASSES`` (comma-separated subset of the
+default rotation/permanent/blackout/battery).
+"""
+
+import os
+
+from repro.experiments.resilience import (
+    DEFAULT_FAULT_CLASSES,
+    format_resilience,
+    resilience_campaign,
+)
+
+from _common import RESULTS_DIR, bench_base_config, bench_seeds
+
+FLOODING_SYSTEMS = ("DaTree", "D-DEAR", "Kautz-overlay")
+
+
+def _fault_classes():
+    raw = os.environ.get("REFER_BENCH_FAULT_CLASSES", "")
+    if not raw:
+        return DEFAULT_FAULT_CLASSES
+    return tuple(part.strip() for part in raw.split(",") if part.strip())
+
+
+def test_resilience_recovery(benchmark):
+    base = bench_base_config()
+    classes = _fault_classes()
+
+    def sweep():
+        return resilience_campaign(
+            base,
+            fault_classes=classes,
+            intensities=(2, 6),
+            seeds=bench_seeds(),
+        )
+
+    result = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    table = format_resilience(result)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "resilience_recovery.txt").write_text(
+        table + "\n", encoding="utf-8"
+    )
+    print("\n" + table)
+
+    refer = [c for c in result.cells if c.system == "REFER"]
+    assert refer, "campaign must cover REFER"
+    assert len(result.fault_classes()) >= 4 or len(classes) < 4
+
+    # REFER repairs locally: no route-discovery floods, ever.
+    assert all(c.flood_comm_energy_j == 0.0 for c in refer)
+    # Every flooding baseline pays comm-phase flood energy under at
+    # least one fault class; trees pay under all of them.
+    for system in FLOODING_SYSTEMS:
+        cells = [c for c in result.cells if c.system == system]
+        assert any(c.flood_comm_energy_j > 0.0 for c in cells), system
+    # REFER keeps delivering through every fault class, and recovers
+    # from the faults it can observe.
+    assert all(c.delivery_ratio > 0.5 for c in refer)
+    assert all(c.recovered_fraction > 0.5 for c in refer)
+    # Recovery happens in bounded time (well inside the fault period).
+    assert all(c.recovery_time_s <= 10.0 for c in refer if c.recovery_time_s)

@@ -1,0 +1,47 @@
+"""Chaos engineering: composable fault models + recovery instrumentation.
+
+The package generalises ``repro.net.failure.FaultInjector`` (kept
+as-is for figure parity) into a library of deterministic, sim-clock-
+driven fault models sharing one scheduler interface, a coordinator to
+compose them, a windowed delivery-ratio probe measuring time-to-
+recovery, and a frozen :class:`FaultSpec` so scenarios declare faults
+in :class:`~repro.experiments.config.ScenarioConfig`.
+"""
+
+from repro.chaos.coordinator import ChaosCoordinator
+from repro.chaos.models import (
+    ActuatorOutageFault,
+    BatteryDepletionFault,
+    ChaosModel,
+    CrashRotationFault,
+    FaultEvent,
+    GilbertElliottLinkFault,
+    PermanentCrashFault,
+    RegionalBlackoutFault,
+)
+from repro.chaos.probe import (
+    FaultRecovery,
+    ResilienceProbe,
+    ResilienceSummary,
+    WindowSample,
+)
+from repro.chaos.spec import FAULT_KINDS, FaultSpec, build_chaos_model
+
+__all__ = [
+    "ActuatorOutageFault",
+    "BatteryDepletionFault",
+    "ChaosCoordinator",
+    "ChaosModel",
+    "CrashRotationFault",
+    "FaultEvent",
+    "FAULT_KINDS",
+    "FaultSpec",
+    "FaultRecovery",
+    "GilbertElliottLinkFault",
+    "PermanentCrashFault",
+    "RegionalBlackoutFault",
+    "ResilienceProbe",
+    "ResilienceSummary",
+    "WindowSample",
+    "build_chaos_model",
+]

@@ -1,0 +1,213 @@
+"""Recovery-time instrumentation.
+
+:class:`ResilienceProbe` buckets the workload's generated/delivered
+packets into fixed sim-time windows (a packet is attributed to the
+window it was *created* in, so each window's delivery ratio is well
+defined even with in-flight tails).  Against a chaos event log it
+reports, per fault injection, the pre-fault baseline ratio, the trough
+during the fault, and the **time to recovery** — how many windows pass
+before the ratio re-enters a band around the baseline.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.chaos.models import FaultEvent
+from repro.errors import ConfigError
+from repro.net.packet import Packet
+from repro.sim.core import Simulator
+
+
+@dataclass(frozen=True)
+class WindowSample:
+    """Delivery accounting for one probe window."""
+
+    start: float
+    generated: int
+    delivered: int
+
+    @property
+    def ratio(self) -> float:
+        return self.delivered / self.generated if self.generated else 0.0
+
+
+@dataclass(frozen=True)
+class FaultRecovery:
+    """Recovery analysis around one fault-injection event."""
+
+    event: FaultEvent
+    baseline: float              # delivery ratio before the fault
+    trough: float                # worst windowed ratio until recovery
+    recovery_windows: Optional[int]   # windows until back in band (None: never)
+    recovery_time_s: Optional[float]  # recovery_windows * window seconds
+
+    @property
+    def recovered(self) -> bool:
+        return self.recovery_windows is not None
+
+    @property
+    def degradation(self) -> float:
+        """How far below baseline the trough dipped (>= 0)."""
+        return max(0.0, self.baseline - self.trough)
+
+
+@dataclass(frozen=True)
+class ResilienceSummary:
+    """All fault recoveries of one run, plus aggregates."""
+
+    window: float
+    records: Tuple[FaultRecovery, ...]
+
+    @property
+    def fault_count(self) -> int:
+        return len(self.records)
+
+    @property
+    def recovered_fraction(self) -> float:
+        if not self.records:
+            return 1.0
+        hits = sum(1 for r in self.records if r.recovered)
+        return hits / len(self.records)
+
+    @property
+    def mean_recovery_s(self) -> float:
+        """Mean time-to-recovery over the recovered faults (0 if none)."""
+        times = [
+            r.recovery_time_s for r in self.records if r.recovery_time_s is not None
+        ]
+        return sum(times) / len(times) if times else 0.0
+
+    @property
+    def worst_trough(self) -> float:
+        """The deepest windowed delivery ratio seen across faults."""
+        if not self.records:
+            return 1.0
+        return min(r.trough for r in self.records)
+
+    @property
+    def mean_trough(self) -> float:
+        if not self.records:
+            return 1.0
+        return sum(r.trough for r in self.records) / len(self.records)
+
+
+class ResilienceProbe:
+    """Windowed delivery-ratio sampler around fault events.
+
+    Wire it into the metrics path (``MetricsCollector(probe=...)``);
+    unlike the collector it counts *every* packet, warm-up included,
+    because the pre-fault baseline may fall inside warm-up.
+    """
+
+    def __init__(self, sim: Simulator, window: float = 1.0) -> None:
+        if window <= 0:
+            raise ConfigError("probe window must be positive")
+        self._sim = sim
+        self.window = window
+        self._generated: Dict[int, int] = defaultdict(int)
+        self._delivered: Dict[int, int] = defaultdict(int)
+
+    # -- packet hooks --------------------------------------------------------
+
+    def on_generated(self, packet: Packet) -> None:
+        self._generated[self._index(packet.created_at)] += 1
+
+    def on_delivered(self, packet: Packet) -> None:
+        self._delivered[self._index(packet.created_at)] += 1
+
+    def on_dropped(self, packet: Packet) -> None:
+        """Drops are implied by generated - delivered; nothing to do."""
+
+    def _index(self, when: float) -> int:
+        return int(when / self.window)
+
+    # -- sampling ------------------------------------------------------------
+
+    def samples(self) -> List[WindowSample]:
+        """Every window that saw traffic, in time order."""
+        return [
+            WindowSample(
+                start=index * self.window,
+                generated=self._generated[index],
+                delivered=self._delivered.get(index, 0),
+            )
+            for index in sorted(self._generated)
+        ]
+
+    def ratio_between(self, begin: float, end: float) -> float:
+        """Aggregate delivery ratio of packets created in [begin, end)."""
+        generated = delivered = 0
+        for index, count in self._generated.items():
+            start = index * self.window
+            if begin <= start < end:
+                generated += count
+                delivered += self._delivered.get(index, 0)
+        return delivered / generated if generated else 0.0
+
+    # -- recovery analysis ---------------------------------------------------
+
+    def recovery_report(
+        self,
+        events: Sequence[FaultEvent],
+        baseline_windows: int = 3,
+        band: float = 0.1,
+    ) -> ResilienceSummary:
+        """Time-to-recovery for every injection in ``events``.
+
+        For each ``inject`` event: the baseline is the aggregate ratio
+        of the ``baseline_windows`` windows preceding it (1.0 when no
+        prior traffic exists); recovery is the first window at or after
+        the event whose ratio climbs back above ``baseline - band``.
+        The trough is the worst windowed ratio from the event until
+        recovery (or until traffic ends, if recovery never comes).
+        """
+        if baseline_windows < 1:
+            raise ConfigError("baseline_windows must be >= 1")
+        indices = sorted(self._generated)
+        records: List[FaultRecovery] = []
+        for event in events:
+            if event.kind != "inject":
+                continue
+            at = self._index(event.time)
+            before = [
+                i for i in indices if at - baseline_windows <= i < at
+            ]
+            if before:
+                gen = sum(self._generated[i] for i in before)
+                dlv = sum(self._delivered.get(i, 0) for i in before)
+                baseline = dlv / gen if gen else 1.0
+            else:
+                baseline = 1.0
+            target = max(0.0, baseline - band)
+            after = [i for i in indices if i >= at]
+            recovery_windows: Optional[int] = None
+            trough = 1.0
+            for i in after:
+                sample_ratio = (
+                    self._delivered.get(i, 0) / self._generated[i]
+                )
+                trough = min(trough, sample_ratio)
+                if sample_ratio >= target:
+                    recovery_windows = i - at
+                    break
+            if not after:
+                # No traffic after the fault: nothing observable broke.
+                recovery_windows = 0
+                trough = baseline
+            records.append(
+                FaultRecovery(
+                    event=event,
+                    baseline=baseline,
+                    trough=trough,
+                    recovery_windows=recovery_windows,
+                    recovery_time_s=(
+                        recovery_windows * self.window
+                        if recovery_windows is not None
+                        else None
+                    ),
+                )
+            )
+        return ResilienceSummary(window=self.window, records=tuple(records))

@@ -9,11 +9,15 @@ reads it on every hop.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional
+from typing import Callable, Dict, Iterable, List, Optional
 
 from repro.errors import EmbeddingError
 from repro.kautz.graph import KautzGraph
 from repro.kautz.strings import KautzString
+
+#: Membership-change notification: ``(kid, old_node_id, new_node_id)``;
+#: ``old_node_id`` is ``None`` for a first assignment.
+MembershipObserver = Callable[[KautzString, Optional[int], int], None]
 
 
 class EmbeddedCell:
@@ -25,6 +29,21 @@ class EmbeddedCell:
         self._kid_to_node: Dict[KautzString, int] = {}
         self._node_to_kid: Dict[int, KautzString] = {}
         self._actuator_kids: Dict[KautzString, int] = {}
+        self._observers: List[MembershipObserver] = []
+
+    def add_observer(self, observer: MembershipObserver) -> None:
+        """Register a callback fired on every assign/reassign.
+
+        The router keeps its node->cell cache coherent through this
+        hook; observers must not mutate the cell re-entrantly.
+        """
+        self._observers.append(observer)
+
+    def _notify(
+        self, kid: KautzString, old: Optional[int], new: int
+    ) -> None:
+        for observer in self._observers:
+            observer(kid, old, new)
 
     # -- assignment -----------------------------------------------------------
 
@@ -44,6 +63,7 @@ class EmbeddedCell:
         self._node_to_kid[node_id] = kid
         if actuator:
             self._actuator_kids[kid] = node_id
+        self._notify(kid, None, node_id)
 
     def reassign(self, kid: KautzString, new_node_id: int) -> int:
         """Node replacement: ``kid`` moves to ``new_node_id``.
@@ -60,6 +80,7 @@ class EmbeddedCell:
         del self._node_to_kid[old]
         self._kid_to_node[kid] = new_node_id
         self._node_to_kid[new_node_id] = kid
+        self._notify(kid, old, new_node_id)
         return old
 
     # -- queries -----------------------------------------------------------------

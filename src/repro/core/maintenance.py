@@ -13,12 +13,13 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.cell import EmbeddedCell
 from repro.kautz.strings import KautzString
 from repro.net.network import WirelessNetwork
 from repro.sim.process import PeriodicProcess
+from repro.util.stats import RunningStat
 from repro.wsan.duty_cycle import DutyCycleManager, SensorState
 
 
@@ -28,6 +29,14 @@ class MaintenanceStats:
     replacements: int = 0
     failed_replacements: int = 0
     rounds: int = 0
+    #: Replacements of vertices whose node a chaos fault had broken
+    #: (attributable only when a fault clock is installed).
+    fault_replacements: int = 0
+    #: Sim-seconds from vertex break to successful reassignment.  The
+    #: break time comes from the chaos fault clock when available and
+    #: otherwise from the first maintenance round that saw the vertex
+    #: broken (an upper bound one probe period coarse).
+    replacement_latency: RunningStat = field(default_factory=RunningStat)
 
 
 class TopologyMaintenance:
@@ -56,6 +65,11 @@ class TopologyMaintenance:
         self._release = release
         self._link_threshold = link_threshold
         self._battery_threshold = battery_threshold
+        # (cid, kid) -> sim time the vertex was first seen broken;
+        # feeds MaintenanceStats.replacement_latency.
+        self._first_broken: Dict[Tuple[int, KautzString], float] = {}
+        # Optional chaos hook: node_id -> sim time it was failed.
+        self._fault_clock: Optional[Callable[[int], Optional[float]]] = None
         self._process = PeriodicProcess(
             network.sim, period=period, action=self._round,
             jitter=period / 10.0, rng=rng,
@@ -66,6 +80,18 @@ class TopologyMaintenance:
 
     def stop(self) -> None:
         self._process.stop()
+
+    def set_fault_clock(
+        self, clock: Optional[Callable[[int], Optional[float]]]
+    ) -> None:
+        """Install a chaos hook reporting when a node was failed.
+
+        With the hook, :attr:`MaintenanceStats.replacement_latency`
+        measures from the actual break instant instead of from the
+        detecting probe round, and fault-attributable replacements are
+        counted separately.
+        """
+        self._fault_clock = clock
 
     # ------------------------------------------------------------------
 
@@ -114,6 +140,13 @@ class TopologyMaintenance:
             or node.battery_fraction < self._battery_threshold
             or current_quality <= 0.0
         )
+        break_key = (cell.cid, kid)
+        if broken:
+            self._first_broken.setdefault(break_key, now)
+        else:
+            # The vertex healed on its own (fault recovered, link came
+            # back) — a later break starts a fresh latency window.
+            self._first_broken.pop(break_key, None)
         if broken or current_quality < self._link_threshold:
             self._replace(
                 cell, kid, node_id, neighbors, now, broken, current_quality
@@ -163,6 +196,7 @@ class TopologyMaintenance:
         self._claim(candidate)
         self.duty.replace(old, candidate)
         self.stats.replacements += 1
+        self._note_replacement_latency(cell, kid, node_id, now)
         # Notification messages: the departing node (or, if it is
         # already gone, the candidate) informs each Kautz neighbour.
         announcer = node_id if self.network.node(node_id).usable else candidate
@@ -171,6 +205,21 @@ class TopologyMaintenance:
         for nb in neighbors:
             self.network.energy.charge_rx(nb, kind="control")
             self.network.node(nb).drain(self.network.energy.model.rx_joules)
+
+    def _note_replacement_latency(
+        self, cell: EmbeddedCell, kid: KautzString, node_id: int, now: float
+    ) -> None:
+        """Record break->reassignment latency for a replaced vertex."""
+        detected = self._first_broken.pop((cell.cid, kid), None)
+        break_time = None
+        if self._fault_clock is not None:
+            break_time = self._fault_clock(node_id)
+            if break_time is not None:
+                self.stats.fault_replacements += 1
+        if break_time is None:
+            break_time = detected
+        if break_time is not None:
+            self.stats.replacement_latency.add(max(0.0, now - break_time))
 
     def _find_candidate(
         self, neighbors: List[int], now: float, must_replace: bool

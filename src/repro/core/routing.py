@@ -41,6 +41,8 @@ class RoutingStats:
     congestion_detours: int = 0   # successors skipped for backlog
     drops: int = 0
     entry_relays: int = 0         # hops spent reaching a cell member
+    fault_detours: int = 0        # detours taken while chaos faults were active
+    fault_drops: int = 0          # drops suffered while chaos faults were active
 
 
 class ReferRouter:
@@ -64,6 +66,16 @@ class ReferRouter:
         self.stats = RoutingStats()
         self._max_hops = max_hops
         self._congestion_threshold = congestion_threshold
+        # node -> cell lookups happen per packet (twice per send_to),
+        # so the linear scan over cells is cached; membership changes
+        # invalidate through the cells' observer hook.
+        self._holding_cache: Dict[int, Optional[EmbeddedCell]] = {}
+        for cell in cells:
+            cell.add_observer(self._membership_changed)
+        # When the chaos subsystem is active the runner installs a
+        # zero-argument probe here so detours/drops can be attributed
+        # to live fault activity (RoutingStats.fault_*).
+        self._fault_activity: Optional[Callable[[], bool]] = None
         # The DHT upper tier (Section III-B3): one CAN zone per cell,
         # keyed by the cell's normalised centroid.  Inter-cell messages
         # follow the CAN route through cell space; each cell hop is
@@ -80,12 +92,39 @@ class ReferRouter:
     # membership helpers
     # ------------------------------------------------------------------
 
+    def set_fault_activity(self, probe: Optional[Callable[[], bool]]) -> None:
+        """Install a probe reporting whether chaos faults are active now."""
+        self._fault_activity = probe
+
+    def _fault_active(self) -> bool:
+        return self._fault_activity is not None and self._fault_activity()
+
+    def _membership_changed(
+        self, kid: KautzString, old: Optional[int], new: int
+    ) -> None:
+        if old is not None:
+            self._holding_cache.pop(old, None)
+        self._holding_cache.pop(new, None)
+
     def cell_holding(self, node_id: int) -> Optional[EmbeddedCell]:
-        """The cell (if any) in which ``node_id`` currently holds a KID."""
+        """The cell (if any) in which ``node_id`` currently holds a KID.
+
+        Cached per node; maintenance reassignments invalidate exactly
+        the two ids they touch, so repeated per-packet lookups are O(1)
+        while preserving the first-cell-in-cid-order tie-break for
+        actuators that belong to several cells.
+        """
+        try:
+            return self._holding_cache[node_id]
+        except KeyError:
+            pass
+        holding: Optional[EmbeddedCell] = None
         for cell in self.cells.values():
             if cell.holds(node_id):
-                return cell
-        return None
+                holding = cell
+                break
+        self._holding_cache[node_id] = holding
+        return holding
 
     def cell_at(self, position: Point) -> EmbeddedCell:
         spec = self.plan.cell_of_point(position)
@@ -488,6 +527,8 @@ class ReferRouter:
         succ_node = cell.node_of(succ_kid)
         if index > 0:
             self.stats.detours += 1
+            if self._fault_active():
+                self.stats.fault_detours += 1
         is_final = succ_kid == dest_kid
 
         def arrived(pkt: Packet) -> None:
@@ -626,5 +667,7 @@ class ReferRouter:
         self, packet: Packet, on_dropped: Optional[DroppedCallback]
     ) -> None:
         self.stats.drops += 1
+        if self._fault_active():
+            self.stats.fault_drops += 1
         if on_dropped is not None:
             on_dropped(packet)

@@ -103,20 +103,22 @@ _WALL_CLOCK_CALLS = frozenset(
 class NoWallClock(Rule):
     """REF002 — simulation subsystems read time from the sim clock only.
 
-    Inside ``sim/``, ``net/``, ``core/`` and ``wsan/`` every timestamp
-    must come from ``Simulator.now``: a single ``time.time()`` makes
-    latency, deadlines and event ordering depend on the host machine and
-    silently kills run-to-run reproducibility.
+    Inside ``sim/``, ``net/``, ``core/``, ``wsan/`` and ``chaos/``
+    every timestamp must come from ``Simulator.now``: a single
+    ``time.time()`` makes latency, deadlines and event ordering depend
+    on the host machine and silently kills run-to-run reproducibility.
     """
 
     rule_id = "REF002"
     title = "no wall-clock time in simulation code"
-    rationale = "sim/net/core/wsan must use the simulation clock (sim.now)"
+    rationale = (
+        "sim/net/core/wsan/chaos must use the simulation clock (sim.now)"
+    )
     node_types = (ast.Call,)
 
     def applies_to(self, ctx: RuleContext) -> bool:
         return not ctx.is_test_file and ctx.in_directory(
-            "sim", "net", "core", "wsan"
+            "sim", "net", "core", "wsan", "chaos"
         )
 
     def visit(self, node: ast.AST, ctx: RuleContext) -> None:

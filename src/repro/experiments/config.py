@@ -14,8 +14,9 @@ from environment variables.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Optional
+from typing import Optional, Tuple
 
+from repro.chaos.spec import FaultSpec
 from repro.errors import ConfigError
 
 
@@ -49,15 +50,31 @@ class ScenarioConfig:
     source_window: float = 10.0
     qos_deadline: float = 0.6
     faults: Optional[FaultConfig] = None
+    #: Chaos models for this run (see :mod:`repro.chaos`); a bare
+    #: :class:`FaultSpec` is normalised to a one-element tuple.  Kept
+    #: separate from ``faults`` so the legacy crash-rotation figures
+    #: stay bit-identical to the seed.
+    fault_spec: Tuple[FaultSpec, ...] = ()
+    #: ResilienceProbe window (seconds); only used with ``fault_spec``.
+    probe_window: float = 1.0
     kautz_degree: int = 2            # REFER cell K(d, 3)
 
     def __post_init__(self) -> None:
+        if isinstance(self.fault_spec, FaultSpec):
+            object.__setattr__(self, "fault_spec", (self.fault_spec,))
+        elif not isinstance(self.fault_spec, tuple):
+            object.__setattr__(self, "fault_spec", tuple(self.fault_spec))
         if self.sensor_count < 12:
             raise ConfigError("need at least 12 sensors to embed K(2,3)")
         if self.sim_time <= 0 or self.warmup < 0:
             raise ConfigError("invalid time configuration")
         if self.rate_pps <= 0 or self.packet_bytes <= 0:
             raise ConfigError("invalid traffic configuration")
+        if self.probe_window <= 0:
+            raise ConfigError("probe_window must be positive")
+        for spec in self.fault_spec:
+            if not isinstance(spec, FaultSpec):
+                raise ConfigError("fault_spec entries must be FaultSpec")
 
     @property
     def end_time(self) -> float:

@@ -11,23 +11,33 @@ Only packets *created* after the warm-up window count.
 
 from __future__ import annotations
 
+from typing import Optional
+
+from repro.chaos.probe import ResilienceProbe
 from repro.net.packet import Packet
 from repro.sim.core import Simulator
 from repro.util.stats import RunningStat
 
 
 class MetricsCollector:
-    """Counts generated/delivered/dropped packets and QoS latencies."""
+    """Counts generated/delivered/dropped packets and QoS latencies.
+
+    An optional :class:`ResilienceProbe` sees every packet event
+    *before* the warm-up filter — a fault's pre-event baseline may sit
+    inside warm-up, so the probe needs the full record.
+    """
 
     def __init__(
         self,
         sim: Simulator,
         qos_deadline: float,
         warmup_end: float,
+        probe: Optional[ResilienceProbe] = None,
     ) -> None:
         self._sim = sim
         self._qos_deadline = qos_deadline
         self._warmup_end = warmup_end
+        self._probe = probe
         self.generated = 0
         self.delivered_total = 0
         self.delivered_qos = 0
@@ -40,10 +50,14 @@ class MetricsCollector:
         return packet.created_at >= self._warmup_end
 
     def on_generated(self, packet: Packet) -> None:
+        if self._probe is not None:
+            self._probe.on_generated(packet)
         if self._measured(packet):
             self.generated += 1
 
     def on_delivered(self, packet: Packet) -> None:
+        if self._probe is not None:
+            self._probe.on_delivered(packet)
         if not self._measured(packet):
             return
         latency = packet.latency(self._sim.now)
@@ -55,6 +69,8 @@ class MetricsCollector:
             self.delay.add(latency)
 
     def on_dropped(self, packet: Packet) -> None:
+        if self._probe is not None:
+            self._probe.on_dropped(packet)
         if self._measured(packet):
             self.dropped += 1
 

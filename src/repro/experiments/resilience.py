@@ -1,0 +1,217 @@
+"""The resilience campaign: fault class x intensity across systems.
+
+The robustness counterpart of :mod:`repro.experiments.campaign`:
+:func:`resilience_campaign` sweeps chaos fault classes (crash
+rotation, permanent attrition, actuator outage, regional blackout,
+battery depletion, bursty links) over an intensity axis for every
+system, and reports per cell the delivery ratio, the windowed trough
+during the fault, the time-to-recovery, and the communication-phase
+flood energy — the last one separating REFER's local repair (no
+route-discovery floods, ~0 J) from the flooding baselines.
+
+::
+
+    from repro.experiments.resilience import (
+        resilience_campaign, format_resilience,
+    )
+    result = resilience_campaign(ScenarioConfig(sim_time=40), seeds=2)
+    print(format_resilience(result))
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+from repro.chaos import FaultSpec
+from repro.errors import ConfigError
+from repro.experiments.config import ScenarioConfig
+from repro.experiments.figures import ALL_SYSTEMS
+from repro.experiments.runner import run_scenario_cached
+from repro.util.stats import confidence_interval_95
+
+#: The default fault classes the campaign sweeps (>= 4 per the
+#: acceptance bar; "actuator" and "links" are opt-in extras).
+DEFAULT_FAULT_CLASSES: Tuple[str, ...] = (
+    "rotation",
+    "permanent",
+    "blackout",
+    "battery",
+)
+
+DEFAULT_INTENSITIES: Tuple[int, ...] = (2, 6)
+
+
+def specs_for(
+    fault_class: str, intensity: int, config: ScenarioConfig
+) -> Tuple[FaultSpec, ...]:
+    """Map (fault class, intensity) to concrete chaos specs.
+
+    Faults start a quarter into the measured window, leaving a clean
+    pre-fault baseline for the recovery probe.  Intensity scales the
+    class's natural severity knob: nodes per burst for crash classes,
+    disc radius for blackouts, burst duty for link faults.
+    """
+    if intensity < 1:
+        raise ConfigError("intensity must be >= 1")
+    start = config.warmup + 0.25 * config.sim_time
+    if fault_class == "rotation":
+        return (
+            FaultSpec(kind="rotation", count=intensity, period=10.0,
+                      start=start),
+        )
+    if fault_class == "permanent":
+        return (
+            FaultSpec(kind="permanent", count=intensity, period=10.0,
+                      rounds=2, start=start),
+        )
+    if fault_class == "actuator":
+        return (
+            FaultSpec(kind="actuator", count=max(1, intensity // 4),
+                      period=20.0, duration=8.0, rounds=2, start=start),
+        )
+    if fault_class == "blackout":
+        return (
+            FaultSpec(kind="blackout", radius=40.0 + 10.0 * intensity,
+                      period=20.0, duration=8.0, rounds=1, start=start),
+        )
+    if fault_class == "battery":
+        return (
+            FaultSpec(kind="battery", count=intensity, period=10.0,
+                      rounds=1, start=start),
+        )
+    if fault_class == "links":
+        return (
+            FaultSpec(kind="links", mean_good=max(2.0, 12.0 - intensity),
+                      mean_bad=0.5 + 0.25 * intensity, start=start),
+        )
+    raise ConfigError(f"unknown fault class {fault_class!r}")
+
+
+@dataclass(frozen=True)
+class ResilienceCell:
+    """One (system, fault class, intensity) point, seed-averaged."""
+
+    system: str
+    fault_class: str
+    intensity: int
+    delivery_ratio: float
+    delivery_ci95: float
+    trough: float                 # mean windowed trough during faults
+    recovery_time_s: float        # mean time-to-recovery (recovered faults)
+    recovered_fraction: float     # share of faults recovered from
+    flood_comm_energy_j: float    # comm-phase route-discovery flood energy
+
+
+@dataclass
+class ResilienceResult:
+    """The full campaign grid."""
+
+    base: ScenarioConfig
+    seeds: int
+    cells: List[ResilienceCell] = field(default_factory=list)
+
+    def cell(
+        self, system: str, fault_class: str, intensity: int
+    ) -> ResilienceCell:
+        for c in self.cells:
+            if (
+                c.system == system
+                and c.fault_class == fault_class
+                and c.intensity == intensity
+            ):
+                return c
+        raise KeyError((system, fault_class, intensity))
+
+    def fault_classes(self) -> List[str]:
+        seen: Dict[str, None] = {}
+        for c in self.cells:
+            seen.setdefault(c.fault_class, None)
+        return list(seen)
+
+
+def resilience_campaign(
+    base: ScenarioConfig = ScenarioConfig(),
+    systems: Sequence[str] = ALL_SYSTEMS,
+    fault_classes: Sequence[str] = DEFAULT_FAULT_CLASSES,
+    intensities: Sequence[int] = DEFAULT_INTENSITIES,
+    seeds: int = 2,
+) -> ResilienceResult:
+    """Sweep fault class x intensity for every system.
+
+    Deterministic in ``(base, seeds)``: each point derives its config
+    from ``base`` plus the class's :func:`specs_for` and a seed index,
+    and every run draws all chaos randomness from the run's
+    ``RngStreams``.  Memoised per process like the figure sweeps.
+    """
+    if seeds < 1:
+        raise ConfigError("seeds must be >= 1")
+    result = ResilienceResult(base=base, seeds=seeds)
+    for system in systems:
+        for fault_class in fault_classes:
+            for intensity in intensities:
+                ratios: List[float] = []
+                troughs: List[float] = []
+                recovery: List[float] = []
+                recovered: List[float] = []
+                flood: List[float] = []
+                for seed in range(1, seeds + 1):
+                    config = base.with_(
+                        seed=seed,
+                        fault_spec=specs_for(fault_class, intensity, base),
+                    )
+                    run = run_scenario_cached(system, config)
+                    ratios.append(run.delivery_ratio)
+                    flood.append(run.flood_comm_energy_j)
+                    summary = run.resilience
+                    if summary is not None and summary.fault_count:
+                        troughs.append(summary.mean_trough)
+                        recovery.append(summary.mean_recovery_s)
+                        recovered.append(summary.recovered_fraction)
+                mean_ratio, ci = confidence_interval_95(ratios)
+                result.cells.append(
+                    ResilienceCell(
+                        system=system,
+                        fault_class=fault_class,
+                        intensity=intensity,
+                        delivery_ratio=mean_ratio,
+                        delivery_ci95=ci,
+                        trough=_mean(troughs, default=1.0),
+                        recovery_time_s=_mean(recovery, default=0.0),
+                        recovered_fraction=_mean(recovered, default=1.0),
+                        flood_comm_energy_j=_mean(flood, default=0.0),
+                    )
+                )
+    return result
+
+
+def _mean(values: Sequence[float], default: float) -> float:
+    return sum(values) / len(values) if values else default
+
+
+def format_resilience(result: ResilienceResult) -> str:
+    """Render the campaign grid as a fixed-width table."""
+    base = result.base
+    header = (
+        f"{'system':<14} {'fault':<10} {'int':>3} "
+        f"{'delivery':>9} {'trough':>7} {'rec(s)':>7} "
+        f"{'rec%':>6} {'floodJ':>9}"
+    )
+    lines = [
+        "Resilience campaign "
+        f"(sim_time={base.sim_time:g}s, warmup={base.warmup:g}s, "
+        f"seeds={result.seeds})",
+        header,
+        "-" * len(header),
+    ]
+    for cell in result.cells:
+        lines.append(
+            f"{cell.system:<14} {cell.fault_class:<10} "
+            f"{cell.intensity:>3} "
+            f"{cell.delivery_ratio:>9.3f} "
+            f"{cell.trough:>7.2f} "
+            f"{cell.recovery_time_s:>7.2f} "
+            f"{cell.recovered_fraction * 100.0:>5.0f}% "
+            f"{cell.flood_comm_energy_j:>9.1f}"
+        )
+    return "\n".join(lines)

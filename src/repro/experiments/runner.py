@@ -11,9 +11,16 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Callable, Dict, Optional, Type
+from typing import Callable, Dict, Optional, Tuple, Type
 
 from repro.baselines import DaTreeSystem, DDearSystem, KautzOverlaySystem
+from repro.chaos import (
+    ChaosCoordinator,
+    FaultEvent,
+    ResilienceProbe,
+    ResilienceSummary,
+    build_chaos_model,
+)
 from repro.core.system import ReferSystem
 from repro.errors import ConfigError
 from repro.experiments.config import ScenarioConfig
@@ -51,6 +58,14 @@ class RunResult:
     delivered_qos: int
     delivered_total: int
     dropped: int
+    #: Communication-phase energy spent on route-discovery floods.
+    #: REFER repairs locally, so this stays 0; flooding baselines pay.
+    flood_comm_energy_j: float = 0.0
+    #: Recovery-time analysis; populated only when the config carries a
+    #: ``fault_spec``.
+    resilience: Optional[ResilienceSummary] = None
+    #: Merged chaos event log (empty without ``fault_spec``).
+    fault_events: Tuple[FaultEvent, ...] = ()
 
     @property
     def total_energy_j(self) -> float:
@@ -104,8 +119,14 @@ def run_scenario(system_name: str, config: ScenarioConfig) -> RunResult:
     network.set_phase(Phase.COMMUNICATION)
     system.start()
 
+    probe: Optional[ResilienceProbe] = None
+    if config.fault_spec:
+        probe = ResilienceProbe(sim, window=config.probe_window)
     metrics = MetricsCollector(
-        sim, qos_deadline=config.qos_deadline, warmup_end=config.warmup
+        sim,
+        qos_deadline=config.qos_deadline,
+        warmup_end=config.warmup,
+        probe=probe,
     )
     workload = CbrWorkload(
         sim,
@@ -133,10 +154,39 @@ def run_scenario(system_name: str, config: ScenarioConfig) -> RunResult:
         )
         injector.start(initial_delay=config.faults.period / 2.0)
 
+    chaos: Optional[ChaosCoordinator] = None
+    if config.fault_spec:
+        chaos = ChaosCoordinator(network)
+        for i, spec in enumerate(config.fault_spec):
+            chaos.add(
+                build_chaos_model(
+                    spec,
+                    network,
+                    system,
+                    streams.stream(f"chaos.{i}.{spec.kind}"),
+                    area_side=config.area_side,
+                )
+            )
+        # Fault-attribution hooks, where the system exposes them.
+        router = getattr(system, "router", None)
+        if router is not None and hasattr(router, "set_fault_activity"):
+            router.set_fault_activity(chaos.any_active)
+        maintenance = getattr(system, "maintenance", None)
+        if maintenance is not None and hasattr(maintenance, "set_fault_clock"):
+            maintenance.set_fault_clock(chaos.fail_time_of)
+        chaos.start([spec.start for spec in config.fault_spec])
+
     sim.run_until(config.end_time + DRAIN_MARGIN)
     system.stop()
     if injector is not None:
         injector.stop()
+    fault_events: Tuple[FaultEvent, ...] = ()
+    resilience: Optional[ResilienceSummary] = None
+    if chaos is not None:
+        fault_events = tuple(chaos.events())
+        if probe is not None:
+            resilience = probe.recovery_report(fault_events)
+        chaos.stop()
 
     return RunResult(
         system=system.name,
@@ -149,6 +199,11 @@ def run_scenario(system_name: str, config: ScenarioConfig) -> RunResult:
         delivered_qos=metrics.delivered_qos,
         delivered_total=metrics.delivered_total,
         dropped=metrics.dropped,
+        flood_comm_energy_j=network.energy.total_by_kind(
+            "flood", Phase.COMMUNICATION
+        ),
+        resilience=resilience,
+        fault_events=fault_events,
     )
 
 

@@ -12,7 +12,7 @@ from __future__ import annotations
 import enum
 from collections import defaultdict
 from dataclasses import dataclass
-from typing import Dict, Tuple
+from typing import Dict, Optional, Tuple
 
 
 class Phase(enum.Enum):
@@ -45,7 +45,7 @@ class EnergyLedger:
         self.model = model
         self._by_phase: Dict[Phase, float] = defaultdict(float)
         self._by_node: Dict[Tuple[int, Phase], float] = defaultdict(float)
-        self._by_kind: Dict[str, float] = defaultdict(float)
+        self._by_kind: Dict[Tuple[str, Phase], float] = defaultdict(float)
         self._phase = Phase.CONSTRUCTION
         self.tx_packets = 0
         self.rx_packets = 0
@@ -75,7 +75,7 @@ class EnergyLedger:
         joules = self.model.tx_joules * packets
         self._by_phase[self._phase] += joules
         self._by_node[(node_id, self._phase)] += joules
-        self._by_kind[kind] += joules
+        self._by_kind[(kind, self._phase)] += joules
         self.tx_packets += packets
         return joules
 
@@ -86,7 +86,7 @@ class EnergyLedger:
         joules = self.model.rx_joules * packets
         self._by_phase[self._phase] += joules
         self._by_node[(node_id, self._phase)] += joules
-        self._by_kind[kind] += joules
+        self._by_kind[(kind, self._phase)] += joules
         self.rx_packets += packets
         return joules
 
@@ -107,13 +107,27 @@ class EnergyLedger:
             if nid == node_id
         )
 
-    def total_by_kind(self, kind: str) -> float:
-        """Joules charged to one traffic class across phases."""
-        return self._by_kind.get(kind, 0.0)
+    def total_by_kind(self, kind: str, phase: Optional[Phase] = None) -> float:
+        """Joules charged to one traffic class (optionally one phase).
 
-    def kinds(self) -> Dict[str, float]:
-        """All traffic classes and their totals."""
-        return dict(self._by_kind)
+        ``phase=None`` sums across phases (the historical behaviour);
+        ``phase=Phase.COMMUNICATION`` isolates e.g. the flood energy a
+        protocol spends on route *repair* from its construction floods —
+        the signal the resilience campaign compares across systems.
+        """
+        return sum(
+            joules
+            for (k, p), joules in self._by_kind.items()
+            if k == kind and (phase is None or p is phase)
+        )
+
+    def kinds(self, phase: Optional[Phase] = None) -> Dict[str, float]:
+        """Traffic classes and totals, optionally filtered to one phase."""
+        totals: Dict[str, float] = defaultdict(float)
+        for (kind, p), joules in self._by_kind.items():
+            if phase is None or p is phase:
+                totals[kind] += joules
+        return dict(totals)
 
     def construction_fraction(self) -> float:
         """Construction share of total energy (the paper's ~0.1% claim)."""

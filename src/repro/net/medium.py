@@ -9,10 +9,29 @@ naturally as time advances.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Protocol, Tuple
 
 from repro.errors import NetworkError
 from repro.net.node import Node
+
+
+class LinkFault(Protocol):
+    """A link-level fault process layered onto the medium.
+
+    Implementations (e.g. the Gilbert-Elliott burst model in
+    ``repro.chaos``) gate :meth:`WirelessMedium.can_transmit` and scale
+    :meth:`WirelessMedium.link_quality` without touching node liveness.
+    Both hooks must be pure functions of ``(src, dst, now)`` given the
+    implementation's own deterministic state.
+    """
+
+    def link_up(self, src_id: int, dst_id: int, now: float) -> bool:
+        """Whether the src<->dst link currently carries frames."""
+        ...
+
+    def quality_factor(self, src_id: int, dst_id: int, now: float) -> float:
+        """Multiplier in [0, 1] applied to the distance-based quality."""
+        ...
 
 
 class WirelessMedium:
@@ -25,6 +44,24 @@ class WirelessMedium:
         self._cache_resolution = cache_resolution
         self._neighbor_cache: Dict[Tuple[int, int], List[int]] = {}
         self._cache_bucket = -1
+        self._link_fault: Optional[LinkFault] = None
+
+    # -- fault hooks ---------------------------------------------------------
+
+    def set_link_fault(self, fault: Optional[LinkFault]) -> None:
+        """Install (or clear, with ``None``) a link-level fault model.
+
+        The fault gates frame delivery (:meth:`can_transmit`) and the
+        sensed signal margin (:meth:`link_quality`); topology queries
+        (:meth:`neighbors`) still see the undegraded unit-disk graph,
+        matching how a bursty channel hides from slow-timescale
+        neighbour discovery but not from per-frame delivery.
+        """
+        self._link_fault = fault
+
+    @property
+    def link_fault(self) -> Optional[LinkFault]:
+        return self._link_fault
 
     # -- registry ------------------------------------------------------------
 
@@ -83,9 +120,12 @@ class WirelessMedium:
         return list(cached)
 
     def can_transmit(self, src_id: int, dst_id: int, now: float) -> bool:
-        """Whether a src->dst frame would arrive (range + liveness)."""
+        """Whether a src->dst frame would arrive (range + liveness + link)."""
         src, dst = self.node(src_id), self.node(dst_id)
-        return src.usable and dst.usable and src.in_range_of(dst, now)
+        ok = src.usable and dst.usable and src.in_range_of(dst, now)
+        if ok and self._link_fault is not None:
+            ok = self._link_fault.link_up(src_id, dst_id, now)
+        return ok
 
     def link_quality(self, src_id: int, dst_id: int, now: float) -> float:
         """Distance-based margin in [0, 1]: 1 adjacent, 0 at range edge.
@@ -98,7 +138,10 @@ class WirelessMedium:
         limit = min(src.transmission_range, dst.transmission_range)
         if distance >= limit:
             return 0.0
-        return 1.0 - distance / limit
+        quality = 1.0 - distance / limit
+        if self._link_fault is not None:
+            quality *= self._link_fault.quality_factor(src_id, dst_id, now)
+        return quality
 
     def contention_at(self, node_id: int, now: float) -> int:
         """How many neighbouring radios are currently busy.

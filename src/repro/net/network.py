@@ -48,8 +48,17 @@ class WirelessNetwork:
         self.trace = TraceLog(capacity=trace_capacity, enabled=False)
         self._rng = rng
         self._handlers: Dict[int, ReceiveHandler] = {}
+        #: Path-level outcomes of :meth:`send_along_path`: a relay that
+        #: reaches the end of its path counts as delivered, a relay
+        #: whose hop fails counts as dropped.  Protocols that drive
+        #: :meth:`send` directly (and recover locally) are accounted by
+        #: their own stats, not here.
         self.delivered_packets = 0
         self.dropped_packets = 0
+        #: Every failed hop *attempt* anywhere — including hops whose
+        #: packet the protocol then recovers over another path, so this
+        #: is always >= the end-to-end drop counts.
+        self.hop_failures = 0
 
     # -- topology -----------------------------------------------------------
 
@@ -152,7 +161,7 @@ class WirelessNetwork:
         on_failed: Optional[FailureCallback],
         delay: float,
     ) -> None:
-        self.dropped_packets += 1
+        self.hop_failures += 1
         if on_failed is None:
             return
         if delay > 0:
@@ -174,6 +183,11 @@ class WirelessNetwork:
         The receive handler fires only at the final node.  On any hop
         failure, ``on_failed`` gets the id of the node that could not
         forward — protocols use that to trigger their repair logic.
+
+        Accounting: a hop failure ends this relay attempt, so it bumps
+        both :attr:`hop_failures` (via the hop machinery) and
+        :attr:`dropped_packets` (the end-to-end outcome of the attempt);
+        a retransmission after repair is a fresh attempt.
         """
         if len(path) < 1:
             raise NetworkError("empty path")
@@ -185,6 +199,11 @@ class WirelessNetwork:
             if handler is not None:
                 handler(packet)
             return
+
+        def path_failed(pkt: Packet, at_node: int) -> None:
+            self.dropped_packets += 1
+            if on_failed is not None:
+                on_failed(pkt, at_node)
 
         def hop(index: int) -> None:
             last = index + 1 == len(path) - 1
@@ -202,7 +221,7 @@ class WirelessNetwork:
                 path[index + 1],
                 packet,
                 on_delivered=delivered,
-                on_failed=on_failed,
+                on_failed=path_failed,
                 deliver_to_handler=last,
             )
 
@@ -272,7 +291,7 @@ class WirelessNetwork:
             level_latency.append(level_latency[-1] + step)
         total_latency = level_latency[-1] if level_latency else 0.0
         for node_id, hops in forwarders:
-            self.energy.charge_tx(node_id)
+            self.energy.charge_tx(node_id, kind="flood")
             node = self.node(node_id)
             node.drain(self.energy.model.tx_joules)
             # A forwarder contends for the medium until its whole flood

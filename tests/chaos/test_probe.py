@@ -1,0 +1,138 @@
+"""Tests for the resilience probe's windowing and recovery analysis."""
+
+import pytest
+
+from repro.chaos import FaultEvent, ResilienceProbe
+from repro.errors import ConfigError
+from repro.net.packet import Packet, PacketKind
+from repro.sim.core import Simulator
+
+
+def pkt(created_at):
+    return Packet(PacketKind.DATA, 100, 0, 1, created_at)
+
+
+def feed(probe, created_at, generated, delivered):
+    """``generated`` packets in one window, ``delivered`` of them made it."""
+    for i in range(generated):
+        p = pkt(created_at)
+        probe.on_generated(p)
+        if i < delivered:
+            probe.on_delivered(p)
+        else:
+            probe.on_dropped(p)
+
+
+def inject(time, model="crash-rotation"):
+    return FaultEvent(time=time, model=model, kind="inject", nodes=(1,))
+
+
+class TestWindowing:
+    def test_bucketing_by_creation_time(self):
+        probe = ResilienceProbe(Simulator(), window=1.0)
+        feed(probe, 0.5, generated=4, delivered=4)
+        feed(probe, 1.5, generated=4, delivered=2)
+        samples = probe.samples()
+        assert [s.start for s in samples] == [0.0, 1.0]
+        assert samples[0].ratio == 1.0
+        assert samples[1].ratio == 0.5
+
+    def test_ratio_between(self):
+        probe = ResilienceProbe(Simulator(), window=1.0)
+        feed(probe, 0.5, 4, 4)
+        feed(probe, 1.5, 4, 0)
+        assert probe.ratio_between(0.0, 2.0) == 0.5
+        assert probe.ratio_between(0.0, 1.0) == 1.0
+        assert probe.ratio_between(5.0, 9.0) == 0.0
+
+    def test_invalid_window_rejected(self):
+        with pytest.raises(ConfigError):
+            ResilienceProbe(Simulator(), window=0.0)
+
+
+class TestRecoveryReport:
+    def test_dip_and_recovery(self):
+        probe = ResilienceProbe(Simulator(), window=1.0)
+        for t in (0.5, 1.5, 2.5):
+            feed(probe, t, 10, 10)     # healthy baseline
+        feed(probe, 3.5, 10, 2)        # fault hits at t=3
+        feed(probe, 4.5, 10, 6)        # partial
+        feed(probe, 5.5, 10, 10)       # recovered
+        summary = probe.recovery_report([inject(3.0)])
+        assert summary.fault_count == 1
+        record = summary.records[0]
+        assert record.baseline == 1.0
+        assert record.trough == pytest.approx(0.2)
+        assert record.recovery_windows == 2
+        assert record.recovery_time_s == pytest.approx(2.0)
+        assert record.recovered
+        assert record.degradation == pytest.approx(0.8)
+
+    def test_no_dip_recovers_immediately(self):
+        probe = ResilienceProbe(Simulator(), window=1.0)
+        for t in (0.5, 1.5, 2.5, 3.5):
+            feed(probe, t, 10, 10)
+        summary = probe.recovery_report([inject(3.0)])
+        record = summary.records[0]
+        assert record.recovery_windows == 0
+        assert record.trough == 1.0
+
+    def test_never_recovers(self):
+        probe = ResilienceProbe(Simulator(), window=1.0)
+        feed(probe, 0.5, 10, 10)
+        feed(probe, 1.5, 10, 0)
+        feed(probe, 2.5, 10, 0)
+        summary = probe.recovery_report([inject(1.0)])
+        record = summary.records[0]
+        assert not record.recovered
+        assert record.recovery_time_s is None
+        assert record.trough == 0.0
+        assert summary.recovered_fraction == 0.0
+        assert summary.mean_recovery_s == 0.0
+
+    def test_no_traffic_after_fault(self):
+        probe = ResilienceProbe(Simulator(), window=1.0)
+        feed(probe, 0.5, 10, 9)
+        summary = probe.recovery_report([inject(5.0)])
+        record = summary.records[0]
+        assert record.recovery_windows == 0
+        assert record.trough == record.baseline
+
+    def test_baseline_from_preceding_windows_only(self):
+        probe = ResilienceProbe(Simulator(), window=1.0)
+        feed(probe, 0.5, 10, 0)        # ancient outage, outside baseline
+        for t in (2.5, 3.5, 4.5):
+            feed(probe, t, 10, 8)
+        feed(probe, 5.5, 10, 8)
+        summary = probe.recovery_report([inject(5.0)], baseline_windows=3)
+        assert summary.records[0].baseline == pytest.approx(0.8)
+        assert summary.records[0].recovery_windows == 0
+
+    def test_recover_events_ignored(self):
+        probe = ResilienceProbe(Simulator(), window=1.0)
+        feed(probe, 0.5, 10, 10)
+        recover = FaultEvent(time=0.2, model="m", kind="recover", nodes=(1,))
+        summary = probe.recovery_report([recover])
+        assert summary.fault_count == 0
+        assert summary.recovered_fraction == 1.0
+        assert summary.worst_trough == 1.0
+
+    def test_multiple_faults_aggregate(self):
+        probe = ResilienceProbe(Simulator(), window=1.0)
+        for t in (0.5, 1.5):
+            feed(probe, t, 10, 10)
+        feed(probe, 2.5, 10, 5)        # fault 1 at t=2, recovers next window
+        feed(probe, 3.5, 10, 10)
+        feed(probe, 4.5, 10, 2)        # fault 2 at t=4
+        feed(probe, 5.5, 10, 10)
+        summary = probe.recovery_report([inject(2.0), inject(4.0)])
+        assert summary.fault_count == 2
+        assert summary.recovered_fraction == 1.0
+        assert summary.worst_trough == pytest.approx(0.2)
+        assert summary.mean_trough == pytest.approx((0.5 + 0.2) / 2.0)
+        assert summary.mean_recovery_s == pytest.approx(1.0)
+
+    def test_invalid_baseline_windows(self):
+        probe = ResilienceProbe(Simulator(), window=1.0)
+        with pytest.raises(ConfigError):
+            probe.recovery_report([], baseline_windows=0)

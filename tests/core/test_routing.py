@@ -165,3 +165,74 @@ class TestCellQueries:
         sim, network, plan, cells, router, rng = build_world()
         for cell_spec in plan.cells:
             assert router.cell_at(cell_spec.centroid).cid == cell_spec.cid
+
+
+class TestCellHoldingCache:
+    def test_cache_agrees_with_linear_scan(self):
+        sim, network, plan, cells, router, rng = build_world()
+        for node_id in range(0, 205):
+            expected = None
+            for cell in cells:
+                if cell.holds(node_id):
+                    expected = cell
+                    break
+            assert router.cell_holding(node_id) is expected
+            # Second lookup serves from the cache and must agree.
+            assert router.cell_holding(node_id) is expected
+
+    def test_reassign_invalidates_both_ids(self):
+        sim, network, plan, cells, router, rng = build_world()
+        cell = cells[0]
+        old = cell.sensor_member_ids[0]
+        kid = cell.kid_of(old)
+        members = {m for c in cells for m in c.member_ids}
+        newcomer = next(s for s in range(5, 205) if s not in members)
+        # Warm the cache for both ids (including the cached None).
+        assert router.cell_holding(old) is cell
+        assert router.cell_holding(newcomer) is None
+        cell.reassign(kid, newcomer)
+        assert router.cell_holding(old) is None
+        assert router.cell_holding(newcomer) is cell
+
+    def test_actuator_tie_break_preserved(self):
+        sim, network, plan, cells, router, rng = build_world()
+        # Actuators belong to several cells; the cache must keep the
+        # historical first-cell-in-cid-order answer.
+        for actuator in range(5):
+            holding = router.cell_holding(actuator)
+            first = next(c for c in cells if c.holds(actuator))
+            assert holding is first
+
+
+class TestFaultAttribution:
+    def test_detours_attributed_while_faults_active(self):
+        sim, network, plan, cells, router, rng = build_world()
+        router.set_fault_activity(lambda: True)
+        cell = cells[0]
+        source = cell.sensor_member_ids[0]
+        # Fail members one at a time until one sits on the source's
+        # best path — that send must detour, and with the fault-activity
+        # hook reporting "active" the detour is fault-attributed.
+        for victim in cell.sensor_member_ids:
+            if victim == source:
+                continue
+            network.fail_node(victim)
+            router.send_to_actuator(source, packet(sim, source))
+            sim.run_until(sim.now + 5.0)
+            network.recover_node(victim)
+            if router.stats.detours:
+                break
+        assert router.stats.detours >= 1
+        assert router.stats.fault_detours == router.stats.detours
+
+    def test_no_attribution_without_hook(self):
+        sim, network, plan, cells, router, rng = build_world()
+        cell = cells[0]
+        source = cell.sensor_member_ids[0]
+        victim = next(m for m in cell.sensor_member_ids if m != source)
+        network.fail_node(victim)
+        for _ in range(5):
+            router.send_to_actuator(source, packet(sim, source))
+        sim.run_until(5.0)
+        assert router.stats.fault_detours == 0
+        assert router.stats.fault_drops == 0

@@ -72,6 +72,23 @@ class TestFaultInjector:
         assert not injector.faulty_nodes
         assert all(net.node(n).usable for n in net.medium.node_ids())
 
+    def test_stop_without_recover_leaves_nodes_failed(self):
+        sim, net = build_grid()
+        injector = FaultInjector(
+            net, random.Random(1),
+            count=lambda: 2,
+            eligible=lambda: net.medium.node_ids(),
+        )
+        injector.start()
+        sim.run_until(1.0)
+        broken = injector.faulty_nodes
+        assert broken
+        injector.stop(recover=False)
+        assert injector.faulty_nodes == broken
+        assert all(not net.node(n).usable for n in broken)
+        sim.run_until(20.0)   # and no later round resurrects them
+        assert all(not net.node(n).usable for n in broken)
+
     def test_count_capped_by_population(self):
         sim, net = build_grid(side=2)
         injector = FaultInjector(

@@ -220,6 +220,60 @@ class TestFloodMulti:
         assert tree[2] == (0, None)
 
 
+class TestDropAccounting:
+    def test_path_failure_is_one_drop(self):
+        sim, net = build_line()
+        net.node(2).failed = True
+        net.send_along_path([0, 1, 2, 3], data_packet(sim))
+        sim.run_until(2.0)
+        assert net.dropped_packets == 1
+        assert net.hop_failures >= 1
+        assert net.delivered_packets == 0
+
+    def test_hop_failure_alone_is_not_a_drop(self):
+        # A protocol driving send() directly may recover the packet over
+        # another path — the facade must not call that an end-to-end drop.
+        sim, net = build_line()
+        failures = []
+        net.send(0, 2, data_packet(sim), on_failed=lambda p, a: failures.append(a))
+        sim.run_until(1.0)
+        assert failures
+        assert net.hop_failures == 1
+        assert net.dropped_packets == 0
+
+    def test_delivered_path_counts_no_drops(self):
+        sim, net = build_line()
+        net.send_along_path([0, 1, 2, 3], data_packet(sim))
+        sim.run_until(2.0)
+        assert net.delivered_packets == 1
+        assert net.dropped_packets == 0
+        assert net.hop_failures == 0
+
+    def test_counters_symmetric_over_mixed_outcomes(self):
+        sim, net = build_line()
+        net.send_along_path([0, 1, 2], data_packet(sim))
+        net.node(3).failed = True
+        net.send_along_path([1, 2, 3], data_packet(sim, src=1))
+        sim.run_until(3.0)
+        assert net.delivered_packets == 1
+        assert net.dropped_packets == 1
+
+
+class TestFloodEnergyKind:
+    def test_flood_energy_keyed_as_flood(self):
+        sim, net = build_line()
+        net.flood(0, ttl=5)
+        # Forwarder transmissions and receptions both land under the
+        # "flood" traffic class — nothing leaks into the default kind.
+        assert net.energy.kinds() == {"flood": net.energy.grand_total()}
+        assert net.energy.total_by_kind("flood") == net.energy.grand_total()
+
+    def test_flood_multi_matches(self):
+        sim, net = build_line(count=6)
+        net.flood_multi([0, 5], ttl=10)
+        assert net.energy.kinds() == {"flood": net.energy.grand_total()}
+
+
 class TestFaultApi:
     def test_fail_and_recover(self):
         sim, net = build_line()
