@@ -58,6 +58,11 @@ class ScenarioConfig:
     #: ResilienceProbe window (seconds); only used with ``fault_spec``.
     probe_window: float = 1.0
     kautz_degree: int = 2            # REFER cell K(d, 3)
+    #: Serve neighbour queries from the spatial hash grid
+    #: (:mod:`repro.net.spatial`).  Off = brute-force scan; results are
+    #: identical either way (the net-layer determinism test pins this),
+    #: so the flag exists for ablations, not correctness.
+    spatial_index: bool = True
 
     def __post_init__(self) -> None:
         if isinstance(self.fault_spec, FaultSpec):

@@ -86,7 +86,9 @@ def run_scenario(system_name: str, config: ScenarioConfig) -> RunResult:
         ) from None
     streams = RngStreams(config.seed)
     sim = Simulator()
-    network = WirelessNetwork(sim, streams.stream("mac"))
+    network = WirelessNetwork(
+        sim, streams.stream("mac"), use_spatial_index=config.spatial_index
+    )
     plan = plan_deployment(
         config.sensor_count,
         config.area_side,

@@ -14,8 +14,12 @@ from repro.net.medium import WirelessMedium
 from repro.net.network import WirelessNetwork
 from repro.net.failure import FaultInjector
 from repro.net.discovery import FloodDiscovery
+from repro.net.spatial import GridOccupancy, GridStats, SpatialHashGrid
 
 __all__ = [
+    "GridOccupancy",
+    "GridStats",
+    "SpatialHashGrid",
     "EnergyLedger",
     "EnergyModel",
     "Phase",

@@ -2,9 +2,25 @@
 
 Connectivity is the unit-disk model the paper uses: a transmission
 from A reaches B iff their distance is within A's transmission range.
-Neighbour queries are frequent (every hop, every probe), so results
-are cached per coarse time bucket; mobility invalidates the cache
+Neighbour queries are frequent (every hop, every probe), so the medium
+holds one *position snapshot* per coarse time bucket and serves every
+query in the bucket from it; mobility invalidates the snapshot
 naturally as time advances.
+
+Query cost is where networks stop scaling: a brute-force scan is O(n)
+per query and O(n^2) per bucket.  By default the snapshot is indexed
+by a :class:`~repro.net.spatial.SpatialHashGrid` (cell side = the
+largest transmission range among registered nodes), which prunes each
+query to the cells overlapping the query disk; ``use_spatial_index=
+False`` keeps the brute-force scan for ablations and as the
+equivalence oracle.  Both paths evaluate the identical predicate over
+the identical snapshot, so they return byte-identical neighbour lists
+(ascending node id) — the index is a pure fast path.
+
+Registry mutations (``add_node``) invalidate the neighbour cache
+immediately: a node added mid-bucket (e.g. by vertex replacement in
+``core/maintenance``) is visible to the very next query, not at the
+next bucket boundary.
 """
 
 from __future__ import annotations
@@ -13,6 +29,8 @@ from typing import Dict, List, Optional, Protocol, Tuple
 
 from repro.errors import NetworkError
 from repro.net.node import Node
+from repro.net.spatial import SpatialHashGrid, brute_force_within_range
+from repro.util.geometry import Point
 
 
 class LinkFault(Protocol):
@@ -37,14 +55,40 @@ class LinkFault(Protocol):
 class WirelessMedium:
     """Registry of nodes plus range queries with time-bucketed caching."""
 
-    def __init__(self, cache_resolution: float = 0.25) -> None:
+    def __init__(
+        self,
+        cache_resolution: float = 0.25,
+        use_spatial_index: bool = True,
+        cell_size: Optional[float] = None,
+    ) -> None:
         if cache_resolution <= 0:
             raise NetworkError("cache_resolution must be positive")
+        if cell_size is not None and cell_size <= 0:
+            raise NetworkError("cell_size must be positive")
         self._nodes: Dict[int, Node] = {}
         self._cache_resolution = cache_resolution
         self._neighbor_cache: Dict[Tuple[int, int], List[int]] = {}
         self._cache_bucket = -1
         self._link_fault: Optional[LinkFault] = None
+        # -- position snapshot + spatial index --------------------------
+        self._use_spatial_index = use_spatial_index
+        self._explicit_cell_size = cell_size
+        self._grid: Optional[SpatialHashGrid] = None
+        #: Positions all queries in the current bucket are served from.
+        self._snapshot: Dict[int, Point] = {}
+        #: Node ids registered but not yet in the snapshot/grid.
+        self._pending_ids: List[int] = []
+        #: Node ids whose mobility can change their position.
+        self._mobile_ids: List[int] = []
+        # -- instrumentation --------------------------------------------
+        #: Snapshot refreshes performed (one per bucket plus one per
+        #: mid-bucket registry mutation).
+        self.refreshes = 0
+        #: Grid (re)builds — one lazy build, plus one per registered
+        #: node whose range exceeds the current auto-derived cell size.
+        self.grid_rebuilds = 0
+        #: Points examined by brute-force scans (index disabled).
+        self.brute_candidates = 0
 
     # -- fault hooks ---------------------------------------------------------
 
@@ -69,6 +113,21 @@ class WirelessMedium:
         if node.id in self._nodes:
             raise NetworkError(f"duplicate node id {node.id}")
         self._nodes[node.id] = node
+        # Registry mutation invalidates cached neighbour lists: a node
+        # added mid-bucket must be visible to the next query, not to
+        # the next 0.25 s bucket.
+        self._neighbor_cache.clear()
+        self._pending_ids.append(node.id)
+        if not getattr(node.mobility, "is_static", False):
+            self._mobile_ids.append(node.id)
+        if (
+            self._grid is not None
+            and self._explicit_cell_size is None
+            and node.transmission_range > self._grid.cell_size
+        ):
+            # The auto cell size tracks the largest range; a bigger
+            # radio forces a rebuild (lazy, at the next refresh).
+            self._grid = None
 
     def node(self, node_id: int) -> Node:
         try:
@@ -88,6 +147,66 @@ class WirelessMedium:
     def __contains__(self, node_id: int) -> bool:
         return node_id in self._nodes
 
+    # -- position snapshot ---------------------------------------------------
+
+    @property
+    def spatial_index_enabled(self) -> bool:
+        return self._use_spatial_index
+
+    @property
+    def spatial_grid(self) -> Optional[SpatialHashGrid]:
+        """The live index (``None`` until first query, or when disabled)."""
+        return self._grid
+
+    def _auto_cell_size(self) -> float:
+        limit = max(
+            (node.transmission_range for node in self._nodes.values()),
+            default=0.0,
+        )
+        return limit if limit > 0 else 1.0
+
+    def _refresh_positions(self, now: float) -> None:
+        """Bring the snapshot (and grid) to the positions at ``now``.
+
+        Static nodes are bucketed once; mobile nodes re-bucket lazily —
+        :meth:`SpatialHashGrid.move` only re-hashes when the node
+        crossed a cell boundary.
+        """
+        self.refreshes += 1
+        if self._use_spatial_index and self._grid is None:
+            cell = self._explicit_cell_size or self._auto_cell_size()
+            self._grid = SpatialHashGrid(cell)
+            self.grid_rebuilds += 1
+            self._snapshot.clear()
+            self._pending_ids = list(self._nodes)
+        grid = self._grid
+        snapshot = self._snapshot
+        for node_id in self._pending_ids:
+            point = self._nodes[node_id].position(now)
+            snapshot[node_id] = point
+            if grid is not None and node_id not in grid:
+                grid.insert(node_id, point)
+        self._pending_ids = []
+        for node_id in self._mobile_ids:
+            point = self._nodes[node_id].position(now)
+            snapshot[node_id] = point
+            if grid is not None:
+                grid.move(node_id, point)
+
+    def index_stats(self) -> Dict[str, int]:
+        """Merged instrumentation: snapshot, grid and scan counters."""
+        stats: Dict[str, int] = {
+            "refreshes": self.refreshes,
+            "grid_rebuilds": self.grid_rebuilds,
+            "brute_candidates": self.brute_candidates,
+        }
+        if self._grid is not None:
+            stats.update(self._grid.stats.as_dict())
+            occupancy = self._grid.occupancy()
+            stats["occupied_cells"] = occupancy.occupied_cells
+            stats["max_per_cell"] = occupancy.max_per_cell
+        return stats
+
     # -- connectivity -------------------------------------------------------
 
     def _bucket(self, now: float) -> int:
@@ -100,24 +219,47 @@ class WirelessMedium:
 
         ``require_usable`` filters out failed/asleep/dead nodes — pass
         False for topology analysis that should see the whole graph.
+        Lists are in ascending id order, computed against the bucket's
+        position snapshot, and cached until the bucket rolls over or
+        the registry changes.
         """
         bucket = self._bucket(now)
         if bucket != self._cache_bucket:
             self._neighbor_cache.clear()
             self._cache_bucket = bucket
+            self._refresh_positions(now)
+        elif self._pending_ids:
+            self._refresh_positions(now)
         key = (node_id, 1 if require_usable else 0)
         cached = self._neighbor_cache.get(key)
         if cached is None:
-            origin = self.node(node_id)
-            cached = [
-                other.id
-                for other in self._nodes.values()
-                if other.id != node_id
-                and (other.usable or not require_usable)
-                and origin.bidirectional_link(other, now)
-            ]
+            cached = self._compute_neighbors(node_id, require_usable)
             self._neighbor_cache[key] = cached
         return list(cached)
+
+    def _compute_neighbors(
+        self, node_id: int, require_usable: bool
+    ) -> List[int]:
+        origin = self.node(node_id)
+        origin_pos = self._snapshot[node_id]
+        radius = origin.transmission_range
+        if self._grid is not None:
+            pairs = self._grid.within_range(origin_pos, radius)
+        else:
+            pairs = brute_force_within_range(
+                self._snapshot, origin_pos, radius
+            )
+            self.brute_candidates += len(self._snapshot)
+        result: List[int] = []
+        for other_id, distance in pairs:
+            if other_id == node_id:
+                continue
+            other = self._nodes[other_id]
+            if require_usable and not other.usable:
+                continue
+            if distance <= other.transmission_range:
+                result.append(other_id)
+        return result
 
     def can_transmit(self, src_id: int, dst_id: int, now: float) -> bool:
         """Whether a src->dst frame would arrive (range + liveness + link)."""

@@ -9,6 +9,7 @@ nothing.
 
 from __future__ import annotations
 
+import math
 import random
 from typing import Protocol
 
@@ -25,6 +26,11 @@ class MobilityModel(Protocol):
 
 class StaticMobility:
     """A node that never moves (actuators, anchored sensors)."""
+
+    #: Spatial indexes skip re-bucketing nodes that declare themselves
+    #: static (see :mod:`repro.net.spatial`); models without the
+    #: attribute are treated as mobile.
+    is_static = True
 
     def __init__(self, position: Point) -> None:
         self._position = position
@@ -67,6 +73,11 @@ class RandomWaypoint:
         if max_speed > 0:
             self._next_leg(start, 0.0)
 
+    @property
+    def is_static(self) -> bool:
+        """``max_speed == 0`` degenerates to a static node."""
+        return self._max_speed == 0
+
     def _next_leg(self, origin: Point, now: float) -> None:
         self._origin = origin
         self._target = Point(
@@ -79,6 +90,13 @@ class RandomWaypoint:
         self._speed = max(speed, 1e-3 * self._max_speed)
         self._depart_time = now
         distance = origin.distance_to(self._target)
+        if self._speed <= 0.0:
+            # max_speed so small the redraw floor underflows to 0.0
+            # (subnormal): the node cannot make progress — pin it on
+            # this leg forever instead of dividing by zero.
+            self._target = origin
+            self._arrive_time = math.inf
+            return
         self._arrive_time = now + distance / self._speed
 
     def position(self, now: float) -> Point:

@@ -40,9 +40,10 @@ class WirelessNetwork:
         mac_config: MacConfig = MacConfig(),
         energy_model: EnergyModel = EnergyModel(),
         trace_capacity: int = 2_000,
+        use_spatial_index: bool = True,
     ) -> None:
         self.sim = sim
-        self.medium = WirelessMedium()
+        self.medium = WirelessMedium(use_spatial_index=use_spatial_index)
         self.mac = ContentionMac(sim, self.medium, rng, mac_config)
         self.energy = EnergyLedger(energy_model)
         self.trace = TraceLog(capacity=trace_capacity, enabled=False)

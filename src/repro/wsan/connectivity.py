@@ -25,13 +25,40 @@ from typing import Dict, List, Optional, Sequence, Set
 
 from repro.errors import ConfigError
 from repro.kautz.analysis import min_transmission_range
+from repro.net.spatial import SpatialHashGrid
 from repro.util.geometry import Point
 
 
 def proximity_graph(
     positions: Sequence[Point], transmission_range: float
 ) -> Dict[int, Set[int]]:
-    """The unit-disk graph over ``positions``."""
+    """The unit-disk graph over ``positions``.
+
+    Grid-accelerated: candidates come from a
+    :class:`~repro.net.spatial.SpatialHashGrid` with cell side equal to
+    the range, so the cost is O(n * local density) instead of the
+    all-pairs O(n^2).  The adjacency is identical to the brute-force
+    scan (:func:`proximity_graph_brute`, the test oracle) — the grid
+    prunes candidate pairs without changing the distance predicate.
+    """
+    if transmission_range <= 0:
+        raise ConfigError("transmission_range must be positive")
+    n = len(positions)
+    grid = SpatialHashGrid(transmission_range)
+    for i, position in enumerate(positions):
+        grid.insert(i, position)
+    adjacency: Dict[int, Set[int]] = {i: set() for i in range(n)}
+    for i in range(n):
+        for j, _ in grid.within_range(positions[i], transmission_range):
+            if j != i:
+                adjacency[i].add(j)
+    return adjacency
+
+
+def proximity_graph_brute(
+    positions: Sequence[Point], transmission_range: float
+) -> Dict[int, Set[int]]:
+    """All-pairs oracle for :func:`proximity_graph` (tests, ablations)."""
     if transmission_range <= 0:
         raise ConfigError("transmission_range must be positive")
     n = len(positions)

@@ -1,0 +1,136 @@
+"""Tests for the stdlib coverage tool (repro.devtools.cover)."""
+
+import pathlib
+
+from repro.devtools.cover import (
+    CoverageReport,
+    FileCoverage,
+    LineCoverage,
+    build_universe,
+    executable_lines,
+    format_report,
+)
+
+SNIPPET = (
+    '"""docstring does not count"""\n'
+    "\n"
+    "def branchy(x):\n"
+    "    # comments do not count\n"
+    "    if x:\n"
+    "        return 1\n"
+    "    return 2\n"
+)
+
+
+def write_snippet(tmp_path):
+    path = tmp_path / "snippet.py"
+    path.write_text(SNIPPET, encoding="utf-8")
+    return path.resolve()
+
+
+class TestExecutableLines:
+    def test_counts_code_not_docs_or_comments(self, tmp_path):
+        lines = executable_lines(write_snippet(tmp_path))
+        assert 3 in lines          # def header
+        assert {5, 6, 7} <= lines  # branch bodies
+        assert 2 not in lines      # blank
+        assert 4 not in lines      # comment
+
+    def test_nested_code_objects_included(self, tmp_path):
+        path = tmp_path / "nested.py"
+        path.write_text(
+            "def outer():\n"
+            "    def inner():\n"
+            "        return 1\n"
+            "    return inner\n",
+            encoding="utf-8",
+        )
+        lines = executable_lines(path.resolve())
+        assert 3 in lines  # inner's body
+
+
+class TestLineCoverage:
+    def run_traced(self, path, calls):
+        universe = {str(path): executable_lines(path)}
+        tracer = LineCoverage(universe)
+        code = compile(
+            path.read_text(encoding="utf-8"), str(path), "exec"
+        )
+        namespace = {}
+        tracer.start()
+        try:
+            exec(code, namespace)  # noqa: S102 - fixture code
+            for arg in calls:
+                namespace["branchy"](arg)
+        finally:
+            tracer.stop()
+        return tracer.report()
+
+    def test_partial_branch_coverage(self, tmp_path):
+        path = write_snippet(tmp_path)
+        report = self.run_traced(path, calls=[True])
+        (entry,) = report.files
+        assert entry.covered == entry.executable - 1   # `return 2` missed
+        assert 0.0 < report.percent < 100.0
+
+    def test_full_coverage_after_both_branches(self, tmp_path):
+        path = write_snippet(tmp_path)
+        report = self.run_traced(path, calls=[True, False])
+        (entry,) = report.files
+        assert entry.covered == entry.executable
+        assert report.percent == 100.0
+
+    def test_saturated_code_stops_tracing(self, tmp_path):
+        path = write_snippet(tmp_path)
+        universe = {str(path): executable_lines(path)}
+        tracer = LineCoverage(universe)
+        code = compile(
+            path.read_text(encoding="utf-8"), str(path), "exec"
+        )
+        namespace = {}
+        tracer.start()
+        try:
+            exec(code, namespace)  # noqa: S102 - fixture code
+            namespace["branchy"](True)
+            namespace["branchy"](False)
+        finally:
+            tracer.stop()
+        func_code = namespace["branchy"].__code__
+        assert func_code in tracer._saturated
+
+
+class TestUniverse:
+    def test_devtools_excluded_and_repro_included(self):
+        import repro
+
+        root = pathlib.Path(repro.__file__).resolve().parent
+        universe = build_universe(root)
+        assert not any("devtools" in name for name in universe)
+        assert any(name.endswith("spatial.py") for name in universe)
+
+    def test_already_imported_files_excluded(self):
+        import repro
+
+        root = pathlib.Path(repro.__file__).resolve().parent
+        spatial = str((root / "net" / "spatial.py").resolve())
+        universe = build_universe(root, already_imported=[spatial])
+        assert spatial not in universe
+
+
+class TestReportFormatting:
+    def test_totals_and_gate_math(self):
+        report = CoverageReport(
+            files=(
+                FileCoverage(path="/x/a.py", executable=80, covered=60),
+                FileCoverage(path="/x/b.py", executable=20, covered=20),
+            )
+        )
+        assert report.executable == 100
+        assert report.covered == 80
+        assert report.percent == 80.0
+        text = format_report(report, pathlib.Path("/x"), verbose=False)
+        assert "TOTAL 80/100 lines = 80.0%" in text
+
+    def test_empty_report_is_100(self):
+        assert CoverageReport(files=()).percent == 100.0
+        assert FileCoverage("/x/a.py", 0, 0).percent == 100.0

@@ -1,0 +1,73 @@
+"""Net-layer determinism goldens, extending the chaos-suite patterns.
+
+Two contracts:
+
+* one seed, one schedule: a fixed small scenario run twice yields
+  byte-identical ``RunResult`` metrics (no hidden iteration-order or
+  wall-clock dependence anywhere in the medium/index path);
+* the spatial index is a pure fast path: the same scenario run through
+  the grid-backed medium and the brute-force medium yields
+  byte-identical metrics — the index may only change how neighbours
+  are *found*, never which neighbours (or in which order) protocols
+  see them.
+"""
+
+import pytest
+
+from repro.experiments.config import ScenarioConfig
+from repro.experiments.runner import run_scenario
+
+SMALL = ScenarioConfig(
+    seed=11,
+    sensor_count=40,
+    area_side=220.0,
+    sim_time=12.0,
+    warmup=2.0,
+    rate_pps=5.0,
+)
+
+#: Every numeric field a run produces; compared with == (exact floats).
+METRIC_FIELDS = (
+    "throughput_bps",
+    "mean_delay_s",
+    "comm_energy_j",
+    "construction_energy_j",
+    "generated",
+    "delivered_qos",
+    "delivered_total",
+    "dropped",
+    "flood_comm_energy_j",
+)
+
+
+def metrics_of(result):
+    return {name: getattr(result, name) for name in METRIC_FIELDS}
+
+
+class TestNetDeterminism:
+    @pytest.mark.parametrize("system", ["REFER", "DaTree"])
+    def test_same_seed_byte_identical_metrics(self, system):
+        a = run_scenario(system, SMALL)
+        b = run_scenario(system, SMALL)
+        assert repr(metrics_of(a)) == repr(metrics_of(b))
+
+    def test_different_seed_different_run(self):
+        a = run_scenario("REFER", SMALL)
+        b = run_scenario("REFER", SMALL.with_(seed=12))
+        assert metrics_of(a) != metrics_of(b)
+
+
+class TestSpatialIndexTransparency:
+    """Grid on vs grid off must be invisible to every metric."""
+
+    @pytest.mark.parametrize("system", ["REFER", "DaTree"])
+    def test_grid_and_brute_media_byte_identical(self, system):
+        indexed = run_scenario(system, SMALL)
+        brute = run_scenario(system, SMALL.with_(spatial_index=False))
+        assert repr(metrics_of(indexed)) == repr(metrics_of(brute))
+
+    def test_grid_on_mobile_scenario_byte_identical(self):
+        config = SMALL.with_(sensor_max_speed=8.0)
+        indexed = run_scenario("REFER", config)
+        brute = run_scenario("REFER", config.with_(spatial_index=False))
+        assert repr(metrics_of(indexed)) == repr(metrics_of(brute))

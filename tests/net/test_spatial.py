@@ -1,0 +1,259 @@
+"""Unit tests for the spatial hash grid and its medium integration."""
+
+import random
+
+import pytest
+
+from repro.errors import NetworkError
+from repro.net.medium import WirelessMedium
+from repro.net.mobility import RandomWaypoint, StaticMobility
+from repro.net.node import Node, NodeRole
+from repro.net.spatial import SpatialHashGrid, brute_force_within_range
+from repro.util.geometry import Point
+
+
+def make_node(node_id, x, y, rng=100.0, role=NodeRole.SENSOR):
+    return Node(node_id, role, StaticMobility(Point(x, y)), rng)
+
+
+class TestGridBasics:
+    def test_insert_query_remove(self):
+        grid = SpatialHashGrid(10.0)
+        grid.insert(1, Point(0, 0))
+        grid.insert(2, Point(5, 5))
+        grid.insert(3, Point(100, 100))
+        assert len(grid) == 3
+        assert 2 in grid and 99 not in grid
+        hits = grid.within_range(Point(0, 0), 10.0)
+        assert [i for i, _ in hits] == [1, 2]
+        grid.remove(2)
+        assert [i for i, _ in grid.within_range(Point(0, 0), 10.0)] == [1]
+
+    def test_invalid_cell_size(self):
+        with pytest.raises(NetworkError):
+            SpatialHashGrid(0.0)
+
+    def test_duplicate_insert_rejected(self):
+        grid = SpatialHashGrid(1.0)
+        grid.insert(1, Point(0, 0))
+        with pytest.raises(NetworkError):
+            grid.insert(1, Point(1, 1))
+
+    def test_unknown_remove_and_move_rejected(self):
+        grid = SpatialHashGrid(1.0)
+        with pytest.raises(NetworkError):
+            grid.remove(7)
+        with pytest.raises(NetworkError):
+            grid.move(7, Point(0, 0))
+
+    def test_negative_radius_rejected(self):
+        grid = SpatialHashGrid(1.0)
+        with pytest.raises(NetworkError):
+            grid.within_range(Point(0, 0), -1.0)
+
+    def test_results_sorted_by_id(self):
+        grid = SpatialHashGrid(50.0)
+        for item_id in (9, 3, 7, 1):
+            grid.insert(item_id, Point(item_id, 0))
+        assert [i for i, _ in grid.within_range(Point(0, 0), 50.0)] == [
+            1, 3, 7, 9,
+        ]
+
+    def test_distances_returned(self):
+        grid = SpatialHashGrid(10.0)
+        grid.insert(1, Point(3, 4))
+        ((_, distance),) = grid.within_range(Point(0, 0), 10.0)
+        assert distance == pytest.approx(5.0)
+
+
+class TestGridBoundaries:
+    def test_point_on_cell_boundary_found(self):
+        grid = SpatialHashGrid(10.0)
+        grid.insert(1, Point(10.0, 0.0))   # exactly on the cell seam
+        grid.insert(2, Point(10.0, 10.0))  # exactly on a cell corner
+        assert [i for i, _ in grid.within_range(Point(9.0, 1.0), 15.0)] == [
+            1, 2,
+        ]
+
+    def test_point_exactly_on_range_limit_included(self):
+        grid = SpatialHashGrid(5.0)
+        grid.insert(1, Point(30.0, 0.0))
+        assert grid.within_range(Point(0, 0), 30.0) == [(1, 30.0)]
+        assert grid.within_range(Point(0, 0), 29.999999) == []
+
+    def test_negative_coordinates(self):
+        grid = SpatialHashGrid(10.0)
+        grid.insert(1, Point(-25.0, -25.0))
+        grid.insert(2, Point(25.0, 25.0))
+        assert [i for i, _ in grid.within_range(Point(-20.0, -20.0), 10.0)] \
+            == [1]
+
+    def test_query_disk_larger_than_cell(self):
+        # Correctness must not depend on radius <= cell size.
+        grid = SpatialHashGrid(3.0)
+        for i in range(10):
+            grid.insert(i, Point(10.0 * i, 0.0))
+        assert [i for i, _ in grid.within_range(Point(0, 0), 45.0)] == [
+            0, 1, 2, 3, 4,
+        ]
+
+
+class TestGridMove:
+    def test_move_within_cell_does_not_rebucket(self):
+        grid = SpatialHashGrid(10.0)
+        grid.insert(1, Point(1.0, 1.0))
+        grid.move(1, Point(2.0, 2.0))
+        assert grid.stats.rebuckets == 0
+        assert grid.stats.in_cell_moves == 1
+        assert grid.position_of(1) == Point(2.0, 2.0)
+
+    def test_move_across_cells_rebuckets(self):
+        grid = SpatialHashGrid(10.0)
+        grid.insert(1, Point(1.0, 1.0))
+        grid.move(1, Point(25.0, 1.0))
+        assert grid.stats.rebuckets == 1
+        assert [i for i, _ in grid.within_range(Point(25.0, 0.0), 5.0)] == [1]
+        assert grid.within_range(Point(0.0, 0.0), 5.0) == []
+
+    def test_occupancy_snapshot(self):
+        grid = SpatialHashGrid(10.0)
+        grid.insert(1, Point(1, 1))
+        grid.insert(2, Point(2, 2))
+        grid.insert(3, Point(55, 55))
+        occ = grid.occupancy()
+        assert occ.items == 3
+        assert occ.occupied_cells == 2
+        assert occ.max_per_cell == 2
+        assert occ.mean_per_cell == pytest.approx(1.5)
+
+    def test_empty_occupancy(self):
+        occ = SpatialHashGrid(1.0).occupancy()
+        assert occ.items == 0
+        assert occ.max_per_cell == 0
+        assert occ.mean_per_cell == 0.0
+
+
+class TestBruteForceOracle:
+    def test_matches_grid_on_random_points(self):
+        rng = random.Random(7)
+        grid = SpatialHashGrid(20.0)
+        positions = {}
+        for i in range(300):
+            p = Point(rng.uniform(0, 200), rng.uniform(0, 200))
+            positions[i] = p
+            grid.insert(i, p)
+        for _ in range(50):
+            q = Point(rng.uniform(0, 200), rng.uniform(0, 200))
+            r = rng.uniform(0, 60)
+            assert grid.within_range(q, r) == brute_force_within_range(
+                positions, q, r
+            )
+
+
+def build_medium(**kwargs):
+    medium = WirelessMedium(**kwargs)
+    # line: 0 -(80m)- 1 -(80m)- 2, plus far node 3
+    medium.add_node(make_node(0, 0, 0))
+    medium.add_node(make_node(1, 80, 0))
+    medium.add_node(make_node(2, 160, 0))
+    medium.add_node(make_node(3, 1000, 0))
+    return medium
+
+
+class TestMediumIndexIntegration:
+    def test_grid_built_lazily(self):
+        medium = build_medium()
+        assert medium.spatial_grid is None
+        medium.neighbors(0, 0.0)
+        assert medium.spatial_grid is not None
+        # Auto cell size = largest transmission range.
+        assert medium.spatial_grid.cell_size == 100.0
+
+    def test_explicit_cell_size(self):
+        medium = build_medium(cell_size=40.0)
+        medium.neighbors(0, 0.0)
+        assert medium.spatial_grid.cell_size == 40.0
+
+    def test_disabled_index_uses_brute_scan(self):
+        medium = build_medium(use_spatial_index=False)
+        assert set(medium.neighbors(1, 0.0)) == {0, 2}
+        assert medium.spatial_grid is None
+        assert medium.index_stats()["brute_candidates"] == 4
+
+    def test_grid_and_brute_agree(self):
+        grid_m = build_medium()
+        brute_m = build_medium(use_spatial_index=False)
+        for node_id in range(4):
+            assert grid_m.neighbors(node_id, 0.0) == brute_m.neighbors(
+                node_id, 0.0
+            )
+
+    def test_bigger_radio_triggers_rebuild(self):
+        medium = build_medium()
+        medium.neighbors(0, 0.0)
+        assert medium.spatial_grid.cell_size == 100.0
+        medium.add_node(make_node(4, 80, 60, rng=250.0))
+        assert set(medium.neighbors(4, 0.0)) == {0, 1, 2}
+        assert medium.spatial_grid.cell_size == 250.0
+        assert medium.index_stats()["grid_rebuilds"] == 2
+
+    def test_mobile_nodes_rebucket_lazily(self):
+        medium = WirelessMedium()
+        rng = random.Random(3)
+        medium.add_node(make_node(0, 100, 100))
+        medium.add_node(
+            Node(
+                1,
+                NodeRole.SENSOR,
+                RandomWaypoint(
+                    start=Point(100, 100), area_side=200.0,
+                    max_speed=5.0, rng=rng,
+                ),
+                100.0,
+            )
+        )
+        assert medium.neighbors(0, 0.0) == [1]
+        stats_before = medium.index_stats()
+        # Many buckets later the walker has been refreshed every bucket
+        # but re-hashed only when it crossed a 100 m cell boundary.
+        for step in range(1, 40):
+            medium.neighbors(0, step * 0.25)
+        stats_after = medium.index_stats()
+        refreshed = stats_after["refreshes"] - stats_before["refreshes"]
+        rebucketed = stats_after["rebuckets"] - stats_before["rebuckets"]
+        assert refreshed == 39
+        assert rebucketed < refreshed
+
+    def test_index_stats_report_occupancy(self):
+        medium = build_medium()
+        medium.neighbors(0, 0.0)
+        stats = medium.index_stats()
+        assert stats["occupied_cells"] >= 2
+        assert stats["max_per_cell"] >= 1
+        assert stats["queries"] == 1
+
+
+class TestAddNodeInvalidation:
+    """Regression: a node added mid-bucket must be immediately visible.
+
+    Before the spatial-index PR, ``add_node`` did not invalidate
+    ``_neighbor_cache``, so a node added mid-bucket (e.g. vertex
+    replacement in ``core/maintenance``) was invisible to neighbour
+    queries until the next 0.25 s bucket.
+    """
+
+    @pytest.mark.parametrize("use_index", [True, False])
+    def test_added_node_visible_same_bucket(self, use_index):
+        medium = build_medium(use_spatial_index=use_index)
+        assert set(medium.neighbors(1, 0.0)) == {0, 2}
+        medium.add_node(make_node(4, 80, 60))
+        # Same 0.25 s bucket, later instant: the new node must appear.
+        assert set(medium.neighbors(1, 0.01)) == {0, 2, 4}
+        assert set(medium.neighbors(4, 0.01)) == {0, 1, 2}
+
+    @pytest.mark.parametrize("use_index", [True, False])
+    def test_added_node_visible_at_same_instant(self, use_index):
+        medium = build_medium(use_spatial_index=use_index)
+        assert set(medium.neighbors(1, 0.0)) == {0, 2}
+        medium.add_node(make_node(4, 80, 60))
+        assert set(medium.neighbors(1, 0.0)) == {0, 2, 4}
