@@ -7,6 +7,13 @@ and the communication-phase flooding energy.  The headline claim under
 test: REFER recovers through **local** repair — zero route-discovery
 floods — while the tree/cluster baselines pay a flood per repair.
 
+A second REFER-only sweep runs with the self-healing stack
+(:mod:`repro.recovery`): failures detected from heartbeat evidence
+instead of omnisciently, per-hop ARQ, CAN zone takeover.  The bench
+asserts message-grounded recovery stays within 2x the omniscient
+baseline's time-to-recovery (modulo the probe-window floor) while
+reporting real detection latency per fault class.
+
 Effort knobs are the shared bench environment variables
 (``REFER_BENCH_SEEDS``, ``REFER_BENCH_SIM_TIME``, ``REFER_BENCH_RATE``)
 plus ``REFER_BENCH_FAULT_CLASSES`` (comma-separated subset of the
@@ -20,6 +27,7 @@ from repro.experiments.resilience import (
     format_resilience,
     resilience_campaign,
 )
+from repro.recovery import RecoveryConfig
 
 from _common import RESULTS_DIR, bench_base_config, bench_seeds
 
@@ -38,15 +46,28 @@ def test_resilience_recovery(benchmark):
     classes = _fault_classes()
 
     def sweep():
-        return resilience_campaign(
+        omniscient = resilience_campaign(
             base,
             fault_classes=classes,
             intensities=(2, 6),
             seeds=bench_seeds(),
         )
+        healed = resilience_campaign(
+            base,
+            systems=("REFER",),
+            fault_classes=classes,
+            intensities=(2, 6),
+            seeds=bench_seeds(),
+            recovery=RecoveryConfig(),
+        )
+        return omniscient, healed
 
-    result = benchmark.pedantic(sweep, rounds=1, iterations=1)
-    table = format_resilience(result)
+    result, healed = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    table = (
+        format_resilience(result)
+        + "\n\nREFER + self-healing stack (message-grounded detection)\n"
+        + format_resilience(healed)
+    )
     RESULTS_DIR.mkdir(exist_ok=True)
     (RESULTS_DIR / "resilience_recovery.txt").write_text(
         table + "\n", encoding="utf-8"
@@ -70,3 +91,23 @@ def test_resilience_recovery(benchmark):
     assert all(c.recovered_fraction > 0.5 for c in refer)
     # Recovery happens in bounded time (well inside the fault period).
     assert all(c.recovery_time_s <= 10.0 for c in refer if c.recovery_time_s)
+
+    # Message-grounded self-healing: paying for real detection (probe
+    # rounds, suspicion threshold) must cost at most 2x the omniscient
+    # baseline's time-to-recovery.  The floor term covers cells whose
+    # omniscient recovery is quantised to zero probe windows.
+    for cell in healed.cells:
+        omni = result.cell(cell.system, cell.fault_class, cell.intensity)
+        floor = base.probe_window
+        assert cell.recovery_time_s <= 2.0 * max(
+            omni.recovery_time_s, floor
+        ), (
+            f"{cell.fault_class}/{cell.intensity}: healed "
+            f"{cell.recovery_time_s:.2f}s vs omniscient "
+            f"{omni.recovery_time_s:.2f}s"
+        )
+        assert cell.delivery_ratio > 0.5
+        assert cell.false_positive_rate <= 0.5
+    # At least one fault class exhibits genuine (non-zero) detection
+    # latency — detection is not free when it is message-grounded.
+    assert any(c.detection_latency_s > 0.0 for c in healed.cells)

@@ -19,6 +19,7 @@ from repro.chaos.models import FaultEvent
 from repro.errors import ConfigError
 from repro.net.packet import Packet
 from repro.sim.core import Simulator
+from repro.util.stats import RunningStat
 
 
 @dataclass(frozen=True)
@@ -60,6 +61,12 @@ class ResilienceSummary:
 
     window: float
     records: Tuple[FaultRecovery, ...]
+    #: Mean sim-seconds from fault injection to the failure detector's
+    #: condemnation verdict (0.0 when no recovery stack ran).
+    detection_latency_s: float = 0.0
+    #: Mean sim-seconds from fault injection to structural repair
+    #: (vertex reassigned / CAN zone handed over).
+    repair_latency_s: float = 0.0
 
     @property
     def fault_count(self) -> int:
@@ -109,6 +116,8 @@ class ResilienceProbe:
         self.window = window
         self._generated: Dict[int, int] = defaultdict(int)
         self._delivered: Dict[int, int] = defaultdict(int)
+        self._detection = RunningStat()
+        self._repair = RunningStat()
 
     # -- packet hooks --------------------------------------------------------
 
@@ -120,6 +129,18 @@ class ResilienceProbe:
 
     def on_dropped(self, packet: Packet) -> None:
         """Drops are implied by generated - delivered; nothing to do."""
+
+    # -- recovery-stack hooks ------------------------------------------------
+
+    def on_detected(self, latency: float) -> None:
+        """A failure detector condemned a faulted node ``latency``
+        sim-seconds after the chaos model broke it."""
+        self._detection.add(max(0.0, latency))
+
+    def on_repaired(self, latency: float) -> None:
+        """A structural repair (vertex reassignment or CAN takeover)
+        landed ``latency`` sim-seconds after the fault."""
+        self._repair.add(max(0.0, latency))
 
     def _index(self, when: float) -> int:
         return int(when / self.window)
@@ -210,4 +231,9 @@ class ResilienceProbe:
                     ),
                 )
             )
-        return ResilienceSummary(window=self.window, records=tuple(records))
+        return ResilienceSummary(
+            window=self.window,
+            records=tuple(records),
+            detection_latency_s=self._detection.mean,
+            repair_latency_s=self._repair.mean,
+        )

@@ -7,6 +7,17 @@ sensed link quality to any Kautz neighbour drops below the breakage
 threshold — the paper's "links about to break" signal.  Replacement
 selects the best wait-state candidate: a usable non-member sensor in
 range of all the node's Kautz neighbours with the highest battery.
+
+Two detection modes exist.  The default (seed) mode reads liveness and
+battery straight off the node object — omniscient, kept for figure
+parity.  With a :class:`~repro.recovery.detector.FailureDetector`
+installed via :meth:`TopologyMaintenance.set_detector`, maintenance
+acts only on *message-grounded* evidence: the detector's condemnation
+verdicts and the battery levels targets self-reported in heartbeat
+replies.  In detector mode this module performs no ``node.usable``
+reads at all (a test enforces that), and the detector's heartbeats —
+charged to the same ``probe`` energy kind — replace the per-round
+probe broadcast.
 """
 
 from __future__ import annotations
@@ -70,6 +81,9 @@ class TopologyMaintenance:
         self._first_broken: Dict[Tuple[int, KautzString], float] = {}
         # Optional chaos hook: node_id -> sim time it was failed.
         self._fault_clock: Optional[Callable[[int], Optional[float]]] = None
+        # Optional message-grounded failure detector; when set, all
+        # liveness/battery judgements come from its verdicts.
+        self._detector = None
         self._process = PeriodicProcess(
             network.sim, period=period, action=self._round,
             jitter=period / 10.0, rng=rng,
@@ -92,6 +106,25 @@ class TopologyMaintenance:
         counted separately.
         """
         self._fault_clock = clock
+
+    def set_detector(self, detector) -> None:
+        """Switch to message-grounded detection.
+
+        ``detector`` follows the
+        :class:`~repro.recovery.detector.FailureDetector` verdict API
+        (``condemned(node_id)``, ``reported_battery(node_id)``).  With
+        it installed, rounds stop probing (the detector's heartbeats
+        pay that energy) and stop reading ``node.usable`` /
+        ``node.battery_fraction``; pass ``None`` to restore the
+        omniscient seed behaviour.
+        """
+        self._detector = detector
+
+    def _presumed_live(self, node_id: int) -> bool:
+        """Whether the node is believed alive under the active mode."""
+        if self._detector is not None:
+            return not self._detector.condemned(node_id)
+        return self.network.node(node_id).usable
 
     # ------------------------------------------------------------------
 
@@ -117,15 +150,31 @@ class TopologyMaintenance:
         self, cell: EmbeddedCell, kid: KautzString, now: float
     ) -> None:
         node_id = cell.node_of(kid)
-        node = self.network.node(node_id)
         neighbors = self._assigned_neighbors(cell, kid)
-        # Probe: one broadcast, heard by each Kautz neighbour.
-        self.stats.probes += 1
-        self.network.energy.charge_tx(node_id, kind="probe")
-        node.drain(self.network.energy.model.tx_joules)
-        for nb in neighbors:
-            self.network.energy.charge_rx(nb, kind="probe")
-            self.network.node(nb).drain(self.network.energy.model.rx_joules)
+        if self._detector is None:
+            # Probe: one broadcast, heard by each Kautz neighbour.
+            node = self.network.node(node_id)
+            self.stats.probes += 1
+            self.network.energy.charge_tx(node_id, kind="probe")
+            node.drain(self.network.energy.model.tx_joules)
+            for nb in neighbors:
+                self.network.energy.charge_rx(nb, kind="probe")
+                self.network.node(nb).drain(
+                    self.network.energy.model.rx_joules
+                )
+            alive = (
+                node.usable
+                and node.battery_fraction >= self._battery_threshold
+            )
+        else:
+            # Detector mode: the heartbeat traffic (already charged to
+            # the probe ledger) replaces the broadcast, and liveness /
+            # battery come from verdicts and self-reports only.
+            alive = (
+                not self._detector.condemned(node_id)
+                and self._detector.reported_battery(node_id)
+                >= self._battery_threshold
+            )
         current_quality = min(
             (
                 self.network.medium.link_quality(node_id, nb, now)
@@ -135,11 +184,7 @@ class TopologyMaintenance:
         )
         # A vertex is *broken* when the node itself is gone or a Kautz
         # edge is already physically dead — any replacement beats it.
-        broken = (
-            not node.usable
-            or node.battery_fraction < self._battery_threshold
-            or current_quality <= 0.0
-        )
+        broken = not alive or current_quality <= 0.0
         break_key = (cell.cid, kid)
         if broken:
             self._first_broken.setdefault(break_key, now)
@@ -167,7 +212,7 @@ class TopologyMaintenance:
             self.stats.failed_replacements += 1
             return
         candidate, candidate_covered = found
-        if must_replace and self.network.node(node_id).usable:
+        if must_replace and self._presumed_live(node_id):
             # Replacing a live-but-degraded vertex only makes sense if
             # the candidate restores strictly more Kautz edges.
             medium = self.network.medium
@@ -198,8 +243,8 @@ class TopologyMaintenance:
         self.stats.replacements += 1
         self._note_replacement_latency(cell, kid, node_id, now)
         # Notification messages: the departing node (or, if it is
-        # already gone, the candidate) informs each Kautz neighbour.
-        announcer = node_id if self.network.node(node_id).usable else candidate
+        # believed gone, the candidate) informs each Kautz neighbour.
+        announcer = node_id if self._presumed_live(node_id) else candidate
         self.network.energy.charge_tx(announcer, kind="control")
         self.network.node(announcer).drain(self.network.energy.model.tx_joules)
         for nb in neighbors:

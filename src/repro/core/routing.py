@@ -43,6 +43,10 @@ class RoutingStats:
     entry_relays: int = 0         # hops spent reaching a cell member
     fault_detours: int = 0        # detours taken while chaos faults were active
     fault_drops: int = 0          # drops suffered while chaos faults were active
+    #: Hops saved by an ARQ retransmission (recovery layer installed);
+    #: ``detours`` counts the hops that needed Theorem 3.8 switching
+    #: instead — together they split recovery between the two layers.
+    retransmit_recovered: int = 0
 
 
 class ReferRouter:
@@ -76,6 +80,11 @@ class ReferRouter:
         # zero-argument probe here so detours/drops can be attributed
         # to live fault activity (RoutingStats.fault_*).
         self._fault_activity: Optional[Callable[[], bool]] = None
+        # Recovery hooks (repro.recovery): an ARQ link layer replacing
+        # network.send for every hop, and a CAN healer whose suspected
+        # set the actuator tier routes around.
+        self._reliable_link = None
+        self._healer = None
         # The DHT upper tier (Section III-B3): one CAN zone per cell,
         # keyed by the cell's normalised centroid.  Inter-cell messages
         # follow the CAN route through cell space; each cell hop is
@@ -95,6 +104,49 @@ class ReferRouter:
     def set_fault_activity(self, probe: Optional[Callable[[], bool]]) -> None:
         """Install a probe reporting whether chaos faults are active now."""
         self._fault_activity = probe
+
+    def set_reliable_link(self, link) -> None:
+        """Route every hop through an ARQ layer (``None`` restores raw
+        ``network.send``).  ``link`` must expose the ``send`` signature
+        of :meth:`WirelessNetwork.send` —
+        :class:`~repro.recovery.arq.ArqLink` does."""
+        self._reliable_link = link
+
+    def set_can_healer(self, healer) -> None:
+        """Install a :class:`~repro.recovery.healer.CanHealer`: the
+        actuator tier avoids its ``suspected`` set and follows its
+        actuator-keyed CAN route before the CID fallback."""
+        self._healer = healer
+
+    def note_retransmit_recovered(self) -> None:
+        """ARQ callback: one hop was saved by a retransmission."""
+        self.stats.retransmit_recovered += 1
+
+    def _unicast(
+        self,
+        src_id: int,
+        dst_id: int,
+        packet: Packet,
+        on_delivered=None,
+        on_failed=None,
+        deliver_to_handler: bool = True,
+    ) -> None:
+        """One hop through the ARQ layer when installed, else the MAC."""
+        link = self._reliable_link
+        if link is not None:
+            link.send(
+                src_id, dst_id, packet,
+                on_delivered=on_delivered,
+                on_failed=on_failed,
+                deliver_to_handler=deliver_to_handler,
+            )
+        else:
+            self.network.send(
+                src_id, dst_id, packet,
+                on_delivered=on_delivered,
+                on_failed=on_failed,
+                deliver_to_handler=deliver_to_handler,
+            )
 
     def _fault_active(self) -> bool:
         return self._fault_activity is not None and self._fault_activity()
@@ -135,6 +187,30 @@ class ReferRouter:
             cell for cell in self.cells.values() if cell.holds(actuator_id)
         ]
 
+    def _nearest_actuator(
+        self, cell: EmbeddedCell, position: Point, now: float
+    ) -> int:
+        """The cell's closest actuator, avoiding suspected ones.
+
+        With a healer installed, actuators the failure detector has
+        condemned are skipped so traffic re-aims at a live collection
+        point; if every actuator of the cell is suspected the full set
+        is used (best effort beats a guaranteed drop).
+        """
+        actuators = [cell.node_of(kid) for kid in cell.actuator_kids]
+        if self._healer is not None:
+            live = [
+                a for a in actuators if a not in self._healer.suspected
+            ]
+            if live:
+                actuators = live
+        return min(
+            actuators,
+            key=lambda a: self.network.node(a).position(now).distance_to(
+                position
+            ),
+        )
+
     # ------------------------------------------------------------------
     # public API
     # ------------------------------------------------------------------
@@ -151,12 +227,7 @@ class ReferRouter:
         position = self.network.node(source_id).position(now)
         member_cell = self.cell_holding(source_id)
         cell = member_cell if member_cell is not None else self.cell_at(position)
-        dest_actuator = min(
-            (cell.node_of(kid) for kid in cell.actuator_kids),
-            key=lambda a: self.network.node(a).position(now).distance_to(
-                position
-            ),
-        )
+        dest_actuator = self._nearest_actuator(cell, position, now)
         dest_kid = cell.kid_of(dest_actuator)
         packet.destination = dest_actuator
         self._enter_and_route(
@@ -195,12 +266,7 @@ class ReferRouter:
             return
         # Route to the local actuator first, then across the tier.
         self.stats.inter_messages += 1
-        local_actuator = min(
-            (src_cell.node_of(kid) for kid in src_cell.actuator_kids),
-            key=lambda a: self.network.node(a).position(now).distance_to(
-                position
-            ),
-        )
+        local_actuator = self._nearest_actuator(src_cell, position, now)
 
         def at_actuator(pkt: Packet) -> None:
             self._route_tier(
@@ -309,7 +375,7 @@ class ReferRouter:
             else:
                 self._drop(pkt, on_dropped)
 
-        self.network.send(
+        self._unicast(
             source_id,
             relay,
             packet,
@@ -403,7 +469,7 @@ class ReferRouter:
             def on_entry_failed(pkt, at):
                 self._drop(pkt, on_dropped)
 
-        self.network.send(
+        self._unicast(
             from_id,
             member_id,
             packet,
@@ -514,7 +580,7 @@ class ReferRouter:
                         visited | {member_kid}, hops_left - 1,
                     )
 
-            self.network.send(
+            self._unicast(
                 at_node,
                 member,
                 packet,
@@ -549,7 +615,7 @@ class ReferRouter:
                 on_delivered, on_dropped, visited, hops_left,
             )
 
-        self.network.send(
+        self._unicast(
             at_node,
             succ_node,
             packet,
@@ -593,7 +659,7 @@ class ReferRouter:
                 visited | {nxt},
             )
 
-        self.network.send(
+        self._unicast(
             actuator_id,
             nxt,
             packet,
@@ -617,17 +683,31 @@ class ReferRouter:
         CAN step is not realisable (actuator failed, geometry moved),
         fall back to greedy "CID closest to destination" over reachable
         actuators, exactly the forwarding rule of Section III-B3.
+
+        With a healer installed, suspected actuators are excluded from
+        the candidate set and the healer's *actuator-keyed* CAN (whose
+        zones condemned actuators have already handed over) is
+        consulted first — the inter-cell tier routes around believed
+        failures instead of greedy-routing into a dead zone owner.
         """
         dest_point = self._cell_points[dest.cid]
+        suspected: Set[int] = (
+            self._healer.suspected if self._healer is not None else set()
+        )
         reachable = [
             a
             for a in range(self.plan.actuator_count)
             if a != actuator_id
             and a not in visited
+            and a not in suspected
             and self.network.medium.can_transmit(actuator_id, a, now)
         ]
         if not reachable:
             return None
+        if self._healer is not None:
+            heir_hop = self._healer.next_hop(actuator_id, dest.cid)
+            if heir_hop is not None and heir_hop in reachable:
+                return heir_hop
         for cell in self._actuator_cells(actuator_id):
             try:
                 can_path = self.can.route(cell.cid, dest_point)

@@ -121,6 +121,8 @@ class LineCoverage:
         #: off for them, which is what keeps the tracer affordable.
         self._saturated: Set[CodeType] = set()
         self._remaining: Dict[CodeType, Set[int]] = {}
+        self._prev_trace = None
+        self._prev_thread_trace = None
 
     # -- tracer hooks --------------------------------------------------------
 
@@ -156,12 +158,17 @@ class LineCoverage:
     # -- lifecycle -----------------------------------------------------------
 
     def start(self) -> None:
+        # An enclosing tracer (e.g. the coverage gate running this
+        # tool's own tests) must survive a nested measurement —
+        # stop() restores it instead of unconditionally clearing.
+        self._prev_trace = sys.gettrace()
+        self._prev_thread_trace = getattr(threading, "_trace_hook", None)
         threading.settrace(self._global_trace)
         sys.settrace(self._global_trace)
 
     def stop(self) -> None:
-        sys.settrace(None)
-        threading.settrace(None)  # type: ignore[arg-type]
+        sys.settrace(self._prev_trace)
+        threading.settrace(self._prev_thread_trace)  # type: ignore[arg-type]
 
     def report(self) -> CoverageReport:
         files = tuple(

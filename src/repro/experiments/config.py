@@ -18,6 +18,7 @@ from typing import Optional, Tuple
 
 from repro.chaos.spec import FaultSpec
 from repro.errors import ConfigError
+from repro.recovery.config import RecoveryConfig
 
 
 @dataclass(frozen=True)
@@ -57,6 +58,11 @@ class ScenarioConfig:
     fault_spec: Tuple[FaultSpec, ...] = ()
     #: ResilienceProbe window (seconds); only used with ``fault_spec``.
     probe_window: float = 1.0
+    #: Self-healing stack (:mod:`repro.recovery`): message-grounded
+    #: failure detection, per-hop ARQ and CAN zone takeover.  ``None``
+    #: (the default) keeps the seed's omniscient behaviour bit-exact;
+    #: only REFER consumes it (baselines ignore the field).
+    recovery: Optional[RecoveryConfig] = None
     kautz_degree: int = 2            # REFER cell K(d, 3)
     #: Serve neighbour queries from the spatial hash grid
     #: (:mod:`repro.net.spatial`).  Off = brute-force scan; results are
@@ -80,6 +86,10 @@ class ScenarioConfig:
         for spec in self.fault_spec:
             if not isinstance(spec, FaultSpec):
                 raise ConfigError("fault_spec entries must be FaultSpec")
+        if self.recovery is not None and not isinstance(
+            self.recovery, RecoveryConfig
+        ):
+            raise ConfigError("recovery must be a RecoveryConfig or None")
 
     @property
     def end_time(self) -> float:

@@ -21,13 +21,14 @@ route-discovery floods, ~0 J) from the flooding baselines.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.chaos import FaultSpec
 from repro.errors import ConfigError
 from repro.experiments.config import ScenarioConfig
 from repro.experiments.figures import ALL_SYSTEMS
 from repro.experiments.runner import run_scenario_cached
+from repro.recovery import RecoveryConfig
 from repro.util.stats import confidence_interval_95
 
 #: The default fault classes the campaign sweeps (>= 4 per the
@@ -101,6 +102,12 @@ class ResilienceCell:
     recovery_time_s: float        # mean time-to-recovery (recovered faults)
     recovered_fraction: float     # share of faults recovered from
     flood_comm_energy_j: float    # comm-phase route-discovery flood energy
+    #: Mean fault-to-condemnation latency of the failure detector
+    #: (0 without a recovery stack — omniscient runs detect "for free").
+    detection_latency_s: float = 0.0
+    #: Detector false-positive rate (condemnations of live nodes over
+    #: all condemnations); 0 without a recovery stack.
+    false_positive_rate: float = 0.0
 
 
 @dataclass
@@ -136,6 +143,7 @@ def resilience_campaign(
     fault_classes: Sequence[str] = DEFAULT_FAULT_CLASSES,
     intensities: Sequence[int] = DEFAULT_INTENSITIES,
     seeds: int = 2,
+    recovery: Optional[RecoveryConfig] = None,
 ) -> ResilienceResult:
     """Sweep fault class x intensity for every system.
 
@@ -143,6 +151,11 @@ def resilience_campaign(
     from ``base`` plus the class's :func:`specs_for` and a seed index,
     and every run draws all chaos randomness from the run's
     ``RngStreams``.  Memoised per process like the figure sweeps.
+
+    Passing ``recovery`` runs the campaign with the self-healing stack
+    (:mod:`repro.recovery`) enabled — REFER then detects faults from
+    heartbeat evidence instead of omnisciently, and the cells report
+    detection latency and false-positive rate per fault class.
     """
     if seeds < 1:
         raise ConfigError("seeds must be >= 1")
@@ -152,13 +165,16 @@ def resilience_campaign(
             for intensity in intensities:
                 ratios: List[float] = []
                 troughs: List[float] = []
-                recovery: List[float] = []
+                recovery_s: List[float] = []
                 recovered: List[float] = []
                 flood: List[float] = []
+                detect: List[float] = []
+                fp_rates: List[float] = []
                 for seed in range(1, seeds + 1):
                     config = base.with_(
                         seed=seed,
                         fault_spec=specs_for(fault_class, intensity, base),
+                        recovery=recovery,
                     )
                     run = run_scenario_cached(system, config)
                     ratios.append(run.delivery_ratio)
@@ -166,8 +182,12 @@ def resilience_campaign(
                     summary = run.resilience
                     if summary is not None and summary.fault_count:
                         troughs.append(summary.mean_trough)
-                        recovery.append(summary.mean_recovery_s)
+                        recovery_s.append(summary.mean_recovery_s)
                         recovered.append(summary.recovered_fraction)
+                    report = run.recovery
+                    if report is not None:
+                        detect.append(report.mean_time_to_detect_s)
+                        fp_rates.append(report.false_positive_rate)
                 mean_ratio, ci = confidence_interval_95(ratios)
                 result.cells.append(
                     ResilienceCell(
@@ -177,9 +197,11 @@ def resilience_campaign(
                         delivery_ratio=mean_ratio,
                         delivery_ci95=ci,
                         trough=_mean(troughs, default=1.0),
-                        recovery_time_s=_mean(recovery, default=0.0),
+                        recovery_time_s=_mean(recovery_s, default=0.0),
                         recovered_fraction=_mean(recovered, default=1.0),
                         flood_comm_energy_j=_mean(flood, default=0.0),
+                        detection_latency_s=_mean(detect, default=0.0),
+                        false_positive_rate=_mean(fp_rates, default=0.0),
                     )
                 )
     return result
@@ -195,7 +217,7 @@ def format_resilience(result: ResilienceResult) -> str:
     header = (
         f"{'system':<14} {'fault':<10} {'int':>3} "
         f"{'delivery':>9} {'trough':>7} {'rec(s)':>7} "
-        f"{'rec%':>6} {'floodJ':>9}"
+        f"{'rec%':>6} {'floodJ':>9} {'det(s)':>7} {'fp%':>6}"
     )
     lines = [
         "Resilience campaign "
@@ -212,6 +234,8 @@ def format_resilience(result: ResilienceResult) -> str:
             f"{cell.trough:>7.2f} "
             f"{cell.recovery_time_s:>7.2f} "
             f"{cell.recovered_fraction * 100.0:>5.0f}% "
-            f"{cell.flood_comm_energy_j:>9.1f}"
+            f"{cell.flood_comm_energy_j:>9.1f} "
+            f"{cell.detection_latency_s:>7.2f} "
+            f"{cell.false_positive_rate * 100.0:>5.1f}%"
         )
     return "\n".join(lines)

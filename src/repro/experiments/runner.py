@@ -16,6 +16,7 @@ from typing import Callable, Dict, Optional, Tuple, Type
 from repro.baselines import DaTreeSystem, DDearSystem, KautzOverlaySystem
 from repro.chaos import (
     ChaosCoordinator,
+    CrashRotationFault,
     FaultEvent,
     ResilienceProbe,
     ResilienceSummary,
@@ -27,8 +28,8 @@ from repro.experiments.config import ScenarioConfig
 from repro.experiments.metrics import MetricsCollector
 from repro.experiments.workload import CbrWorkload
 from repro.net.energy import Phase
-from repro.net.failure import FaultInjector
 from repro.net.network import WirelessNetwork
+from repro.recovery import RecoveryOrchestrator, RecoveryReport
 from repro.sim.core import Simulator
 from repro.util.rng import RngStreams
 from repro.wsan.deployment import plan_deployment
@@ -66,6 +67,9 @@ class RunResult:
     resilience: Optional[ResilienceSummary] = None
     #: Merged chaos event log (empty without ``fault_spec``).
     fault_events: Tuple[FaultEvent, ...] = ()
+    #: Self-healing stack report; populated only when the config
+    #: carries a ``recovery`` block and the system is REFER.
+    recovery: Optional[RecoveryReport] = None
 
     @property
     def total_energy_j(self) -> float:
@@ -143,11 +147,14 @@ def run_scenario(system_name: str, config: ScenarioConfig) -> RunResult:
     )
     workload.start(0.0, config.end_time)
 
-    injector: Optional[FaultInjector] = None
+    # The legacy crash-rotation path (``config.faults``) now runs on
+    # the chaos model the deprecated FaultInjector aliases; the RNG
+    # schedule is draw-for-draw identical, keeping figures bit-exact.
+    injector: Optional[CrashRotationFault] = None
     if config.faults is not None:
         fault_rng = streams.stream("faults")
         count = config.faults.count
-        injector = FaultInjector(
+        injector = CrashRotationFault(
             network,
             fault_rng,
             count=lambda: count,
@@ -178,10 +185,29 @@ def run_scenario(system_name: str, config: ScenarioConfig) -> RunResult:
             maintenance.set_fault_clock(chaos.fail_time_of)
         chaos.start([spec.start for spec in config.fault_spec])
 
+    orchestrator: Optional[RecoveryOrchestrator] = None
+    if (
+        config.recovery is not None
+        and config.recovery.any_enabled
+        and isinstance(system, ReferSystem)
+    ):
+        orchestrator = RecoveryOrchestrator(
+            network,
+            system,
+            config.recovery,
+            detector_rng=streams.stream("recovery.detector"),
+            arq_rng=streams.stream("recovery.arq"),
+            audit_clock=chaos.fail_time_of if chaos is not None else None,
+            probe=probe,
+        )
+        orchestrator.start()
+
     sim.run_until(config.end_time + DRAIN_MARGIN)
     system.stop()
     if injector is not None:
         injector.stop()
+    if orchestrator is not None:
+        orchestrator.stop()
     fault_events: Tuple[FaultEvent, ...] = ()
     resilience: Optional[ResilienceSummary] = None
     if chaos is not None:
@@ -189,6 +215,9 @@ def run_scenario(system_name: str, config: ScenarioConfig) -> RunResult:
         if probe is not None:
             resilience = probe.recovery_report(fault_events)
         chaos.stop()
+    recovery_report: Optional[RecoveryReport] = None
+    if orchestrator is not None:
+        recovery_report = orchestrator.report(fault_events)
 
     return RunResult(
         system=system.name,
@@ -206,6 +235,7 @@ def run_scenario(system_name: str, config: ScenarioConfig) -> RunResult:
         ),
         resilience=resilience,
         fault_events=fault_events,
+        recovery=recovery_report,
     )
 
 

@@ -1,22 +1,36 @@
-"""Fault injection (Section IV-B).
+"""Fault injection (Section IV-B) — legacy alias.
 
 The paper's fault-tolerance experiment breaks a random set of nodes
-every 10 seconds and recovers the previous set.  :class:`FaultInjector`
-reproduces that schedule: at each round the previously failed nodes are
-restored and a fresh set is drawn from the eligible population.
+every 10 seconds and recovers the previous set.  That schedule now
+lives in :class:`repro.chaos.models.CrashRotationFault`;
+:class:`FaultInjector` remains as a deprecated, schedule-identical
+alias so existing figure scripts keep producing bit-exact results.
+
+The two draw the *same* RNG sequence: the rotation recovers the whole
+previous set before sampling, so the chaos model's "skip currently
+failed" population filter is a no-op and both sample from the full
+eligible population each round (a regression test pins this).
 """
 
 from __future__ import annotations
 
 import random
-from typing import Callable, List, Sequence, Set
+import warnings
+from typing import Callable, Sequence
 
+from repro.chaos.models import CrashRotationFault
 from repro.net.network import WirelessNetwork
-from repro.sim.process import PeriodicProcess
 
 
-class FaultInjector:
-    """Periodically rotates a set of broken-down nodes."""
+class FaultInjector(CrashRotationFault):
+    """Deprecated: use :class:`repro.chaos.models.CrashRotationFault`.
+
+    Kept as a thin subclass so legacy callers (and pickled configs
+    naming the class) keep working; construction emits a
+    :class:`DeprecationWarning`.  Behaviour, RNG draw order, and the
+    ``faulty_nodes`` / ``rounds`` / ``start`` / ``stop`` API are
+    exactly the parent's.
+    """
 
     def __init__(
         self,
@@ -26,43 +40,12 @@ class FaultInjector:
         eligible: Callable[[], Sequence[int]],
         period: float = 10.0,
     ) -> None:
-        """``count`` draws the number of faulty nodes per round (the
-        paper uses 2x with x uniform in [1, 5]); ``eligible`` returns the
-        ids faults may be injected into (e.g. sensors only).
-        """
-        self._network = network
-        self._rng = rng
-        self._count = count
-        self._eligible = eligible
-        self._current: Set[int] = set()
-        self.rounds = 0
-        self._process = PeriodicProcess(
-            network.sim, period=period, action=self._rotate
+        warnings.warn(
+            "repro.net.failure.FaultInjector is deprecated; use "
+            "repro.chaos.models.CrashRotationFault",
+            DeprecationWarning,
+            stacklevel=2,
         )
-
-    @property
-    def faulty_nodes(self) -> Set[int]:
-        return set(self._current)
-
-    def start(self, initial_delay: float = 0.0) -> None:
-        self._process.start(initial_delay)
-
-    def stop(self, recover: bool = True) -> None:
-        self._process.stop()
-        if recover:
-            self._recover_all()
-
-    def _recover_all(self) -> None:
-        for node_id in self._current:
-            self._network.recover_node(node_id)
-        self._current.clear()
-
-    def _rotate(self) -> None:
-        self._recover_all()
-        population: List[int] = list(self._eligible())
-        want = min(self._count(), len(population))
-        chosen = self._rng.sample(population, want) if want else []
-        for node_id in chosen:
-            self._network.fail_node(node_id)
-            self._current.add(node_id)
-        self.rounds += 1
+        super().__init__(
+            network, rng, count=count, eligible=eligible, period=period
+        )

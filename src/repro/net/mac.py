@@ -32,10 +32,15 @@ class MacConfig:
     max_loss: float = 0.3                # cap on the contention-driven part
     retry_limit: int = 3                 # link-layer retransmissions
     failure_timeout: float = 0.02        # time burned learning a hop failed
+    ack_bytes: int = 14                  # network-layer ACK frame size (ARQ)
 
     def airtime(self, size_bytes: int) -> float:
         """Seconds the radio is busy sending one frame."""
         return (size_bytes * 8.0) / self.bitrate_bps
+
+    def ack_airtime(self) -> float:
+        """Occupancy of one network-layer ACK frame (repro.recovery)."""
+        return self.airtime(self.ack_bytes)
 
 
 class ContentionMac:

@@ -79,6 +79,14 @@ class WirelessNetwork:
         """Protocol hook invoked when a packet's final hop delivers here."""
         self._handlers[node_id] = handler
 
+    def handler_of(self, node_id: int) -> Optional[ReceiveHandler]:
+        """The registered receive handler (None if the node has none).
+
+        Link layers that take over final-hop delivery (the recovery
+        ARQ) use this to invoke the handler exactly once per packet,
+        duplicates suppressed."""
+        return self._handlers.get(node_id)
+
     # -- direct energy accounting ---------------------------------------------
 
     def charge_control_tx(self, node_id: int) -> None:

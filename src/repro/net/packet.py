@@ -24,6 +24,7 @@ class PacketKind(enum.Enum):
     QUERY = "query"          # discovery floods / path queries
     PROBE = "probe"          # periodic neighbour/candidate probes
     ASSIGN = "assign"        # ID-assignment messages (embedding protocol)
+    ACK = "ack"              # per-hop ARQ acknowledgements (repro.recovery)
 
 
 @dataclass

@@ -1,6 +1,7 @@
 """Tests for the stdlib coverage tool (repro.devtools.cover)."""
 
 import pathlib
+import sys
 
 from repro.devtools.cover import (
     CoverageReport,
@@ -97,6 +98,28 @@ class TestLineCoverage:
             tracer.stop()
         func_code = namespace["branchy"].__code__
         assert func_code in tracer._saturated
+
+    def test_stop_restores_enclosing_tracer(self, tmp_path):
+        # When the coverage gate runs this very test file, its own
+        # settrace hook is the enclosing tracer; a nested measurement
+        # clearing it would blind the gate for the rest of the suite.
+        events = []
+
+        def outer(frame, event, arg):
+            events.append(event)
+            return None
+
+        path = write_snippet(tmp_path)
+        universe = {str(path): executable_lines(path)}
+        prev = sys.gettrace()
+        sys.settrace(outer)
+        try:
+            tracer = LineCoverage(universe)
+            tracer.start()
+            tracer.stop()
+            assert sys.gettrace() is outer
+        finally:
+            sys.settrace(prev)
 
 
 class TestUniverse:

@@ -172,6 +172,28 @@ class TestRef006Exports:
         assert ids(findings) == ["REF006"]
         assert "ghost" in findings[0].message
 
+    def test_allows_pep562_lazy_exports(self):
+        source = (
+            "__all__ = ['Lazy']\n"
+            "def __getattr__(name):\n"
+            "    '''Resolve lazy exports.'''\n"
+            "    raise AttributeError(name)\n"
+        )
+        assert lint(source) == []
+
+    def test_lazy_module_still_flags_undocumented_defs(self):
+        source = (
+            "__all__ = ['f', 'Lazy']\n"
+            "def __getattr__(name):\n"
+            "    '''Resolve lazy exports.'''\n"
+            "    raise AttributeError(name)\n"
+            "def f():\n"
+            "    return 1\n"
+        )
+        findings = lint(source)
+        assert ids(findings) == ["REF006"]
+        assert "docstring" in findings[0].message
+
     def test_flags_undocumented_exported_function(self):
         source = (
             "__all__ = ['f']\n"

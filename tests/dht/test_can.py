@@ -97,6 +97,26 @@ class TestJoinLeave:
         with pytest.raises(DHTError):
             CanOverlay().leave(5)
 
+    def test_leave_unknown_is_typed_not_bare_keyerror(self):
+        # Regression: unknown ids must surface as the DHT's typed error,
+        # never as the dict's bare KeyError.
+        with pytest.raises(DHTError) as excinfo:
+            CanOverlay().leave(41)
+        assert not isinstance(excinfo.value, KeyError)
+        assert "41" in str(excinfo.value)
+
+    def test_leave_last_node_empties_overlay_cleanly(self):
+        # Regression: removing the final member must not blow up on heir
+        # search; the overlay goes empty and accepts a fresh first join.
+        can = CanOverlay()
+        can.join(1, (0.3, 0.3))
+        can.leave(1)
+        assert can.nodes() == []
+        with pytest.raises(DHTError):
+            can.owner_of((0.3, 0.3))
+        can.join(2, (0.6, 0.6))
+        assert can.owner_of((0.1, 0.9)) == 2
+
     def test_every_point_owned_after_churn(self):
         can = CanOverlay()
         rng = random.Random(11)

@@ -9,13 +9,18 @@ Two contracts:
   the grid-backed medium and the brute-force medium yields
   byte-identical metrics — the index may only change how neighbours
   are *found*, never which neighbours (or in which order) protocols
-  see them.
+  see them;
+* the recovery stack (:mod:`repro.recovery`) is deterministic and
+  strictly opt-in: same seed + ARQ on is byte-identical run-to-run,
+  and a fully disabled ``RecoveryConfig`` reproduces the
+  ``recovery=None`` flow byte-for-byte.
 """
 
 import pytest
 
 from repro.experiments.config import ScenarioConfig
 from repro.experiments.runner import run_scenario
+from repro.recovery import RecoveryConfig
 
 SMALL = ScenarioConfig(
     seed=11,
@@ -71,3 +76,34 @@ class TestSpatialIndexTransparency:
         indexed = run_scenario("REFER", config)
         brute = run_scenario("REFER", config.with_(spatial_index=False))
         assert repr(metrics_of(indexed)) == repr(metrics_of(brute))
+
+
+class TestRecoveryDeterminism:
+    """The self-healing stack must be reproducible and opt-in."""
+
+    def test_arq_on_same_seed_byte_identical(self):
+        config = SMALL.with_(recovery=RecoveryConfig())
+        a = run_scenario("REFER", config)
+        b = run_scenario("REFER", config)
+        assert repr(metrics_of(a)) == repr(metrics_of(b))
+        assert a.recovery == b.recovery
+
+    def test_disabled_recovery_matches_pre_recovery_flow(self):
+        """ARQ/detector/healer all off == the legacy code path exactly.
+
+        A ``RecoveryConfig`` with every layer disabled must not perturb
+        a run in any way — no RNG streams consumed, no extra traffic,
+        no altered send paths.
+        """
+        disabled = RecoveryConfig(detector=False, arq=False, heal_can=False)
+        legacy = run_scenario("REFER", SMALL)
+        gated = run_scenario("REFER", SMALL.with_(recovery=disabled))
+        assert repr(metrics_of(legacy)) == repr(metrics_of(gated))
+        assert gated.recovery is None
+
+    def test_arq_changes_the_flow_only_when_enabled(self):
+        """Sanity: with ARQ on the hop schedule genuinely differs."""
+        legacy = run_scenario("REFER", SMALL)
+        armed = run_scenario("REFER", SMALL.with_(recovery=RecoveryConfig()))
+        assert armed.recovery is not None
+        assert metrics_of(legacy) != metrics_of(armed)

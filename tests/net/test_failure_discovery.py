@@ -58,6 +58,71 @@ class TestFaultInjector:
         for n in first - second:
             assert net.node(n).usable
 
+    def test_construction_emits_deprecation_warning(self):
+        sim, net = build_grid()
+        with pytest.warns(DeprecationWarning, match="CrashRotationFault"):
+            FaultInjector(
+                net,
+                random.Random(5),
+                count=lambda: 2,
+                eligible=lambda: net.medium.node_ids(),
+            )
+
+    def test_alias_schedule_identical_to_crash_rotation(self):
+        """The alias and the chaos model draw the same fault schedule.
+
+        Same seed, same population, same period: every round's failed
+        set must match node-for-node (the rotation recovers the whole
+        previous set before sampling, so the chaos model's currently-
+        failed filter never changes the sample population).
+        """
+        from repro.chaos.models import CrashRotationFault
+
+        schedules = []
+        for cls in (FaultInjector, CrashRotationFault):
+            sim, net = build_grid()
+            if cls is FaultInjector:
+                with pytest.warns(DeprecationWarning):
+                    model = cls(
+                        net,
+                        random.Random(99),
+                        count=lambda: 4,
+                        eligible=lambda: net.medium.node_ids(),
+                        period=10.0,
+                    )
+            else:
+                model = cls(
+                    net,
+                    random.Random(99),
+                    count=lambda: 4,
+                    eligible=lambda: net.medium.node_ids(),
+                    period=10.0,
+                )
+            model.start()
+            rounds = []
+            for horizon in (5.0, 15.0, 25.0, 35.0):
+                sim.run_until(horizon)
+                rounds.append(sorted(model.faulty_nodes))
+            model.stop()
+            schedules.append(rounds)
+        assert schedules[0] == schedules[1]
+
+    def test_alias_records_fault_events(self):
+        """The alias inherits the chaos event log (new capability)."""
+        sim, net = build_grid()
+        with pytest.warns(DeprecationWarning):
+            injector = FaultInjector(
+                net,
+                random.Random(5),
+                count=lambda: 3,
+                eligible=lambda: net.medium.node_ids(),
+                period=10.0,
+            )
+        injector.start()
+        sim.run_until(15.0)
+        kinds = [e.kind for e in injector.events]
+        assert "inject" in kinds and "recover" in kinds
+
     def test_stop_recovers(self):
         sim, net = build_grid()
         injector = FaultInjector(

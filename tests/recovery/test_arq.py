@@ -1,0 +1,150 @@
+"""Unit tests for the per-hop ARQ layer."""
+
+import random
+
+import pytest
+
+from repro.net.mac import MacConfig
+from repro.net.mobility import StaticMobility
+from repro.net.network import WirelessNetwork
+from repro.net.node import Node, NodeRole
+from repro.net.packet import Packet, PacketKind
+from repro.recovery import ArqLink
+from repro.sim.core import Simulator
+from repro.util.geometry import Point
+
+
+def build_pair(range_m=200.0, spacing=60.0, seed=3, **mac_kwargs):
+    sim = Simulator()
+    net = WirelessNetwork(
+        sim, random.Random(seed), mac_config=MacConfig(**mac_kwargs)
+    )
+    for i in range(2):
+        net.add_node(
+            Node(
+                i,
+                NodeRole.SENSOR,
+                StaticMobility(Point(i * spacing, 0.0)),
+                range_m,
+            )
+        )
+    return sim, net
+
+
+def packet(src=0, dst=1, now=0.0):
+    return Packet(
+        kind=PacketKind.DATA,
+        size_bytes=200,
+        source=src,
+        destination=dst,
+        created_at=now,
+    )
+
+
+class TestArqLink:
+    def test_clean_hop_delivers_once(self):
+        sim, net = build_pair(base_loss=0.0, contention_loss=0.0)
+        link = ArqLink(net, random.Random(5), ack_loss=0.0)
+        delivered, failed = [], []
+        link.send(
+            0, 1, packet(),
+            on_delivered=delivered.append,
+            on_failed=lambda p, at: failed.append(p),
+        )
+        sim.run_until(1.0)
+        assert len(delivered) == 1
+        assert not failed
+        assert link.stats.attempts == 1
+        assert link.stats.retransmissions == 0
+
+    def test_handler_invoked_exactly_once(self):
+        sim, net = build_pair(base_loss=0.0, contention_loss=0.0)
+        link = ArqLink(net, random.Random(5), ack_loss=0.0)
+        received = []
+        net.set_receive_handler(1, received.append)
+        link.send(0, 1, packet())
+        sim.run_until(1.0)
+        assert len(received) == 1
+
+    def test_retransmission_recovers_lossy_hop(self):
+        # MAC with no link-layer retries and heavy loss: only the ARQ
+        # stands between a lost frame and a hop failure.
+        sim, net = build_pair(
+            base_loss=0.5, contention_loss=0.0, retry_limit=0
+        )
+        recovered = []
+        link = ArqLink(
+            net, random.Random(5), budget=4, ack_loss=0.0,
+            on_recovered=lambda: recovered.append(1),
+        )
+        delivered = []
+        for i in range(40):
+            link.send(0, 1, packet(now=i * 0.1), on_delivered=delivered.append)
+        sim.run_until(60.0)
+        assert link.stats.retransmissions > 0
+        assert link.stats.recovered_by_retransmit > 0
+        assert len(recovered) == link.stats.recovered_by_retransmit
+        # The ARQ lifts per-hop reliability well above the raw 50%.
+        assert len(delivered) >= 35
+
+    def test_lost_acks_never_cause_duplicate_delivery(self):
+        # Every ACK is lost: the sender burns its whole budget on
+        # retransmissions of a frame the receiver already forwarded.
+        sim, net = build_pair(base_loss=0.0, contention_loss=0.0)
+        link = ArqLink(net, random.Random(5), budget=2, ack_loss=1.0)
+        delivered, failed = [], []
+        received = []
+        net.set_receive_handler(1, received.append)
+        link.send(
+            0, 1, packet(),
+            on_delivered=delivered.append,
+            on_failed=lambda p, at: failed.append(p),
+        )
+        sim.run_until(5.0)
+        assert len(delivered) == 1
+        assert len(received) == 1
+        assert not failed          # the data DID arrive; no hop failure
+        assert link.stats.duplicates_suppressed == 2
+        assert link.stats.exhausted == 1
+        assert link.stats.ack_losses == 3
+
+    def test_budget_exhaustion_reports_failure_once(self):
+        # Destination out of range: every attempt fails at the network
+        # layer, and after the budget the hop failure propagates.
+        sim, net = build_pair(range_m=40.0, spacing=60.0)
+        link = ArqLink(net, random.Random(5), budget=2, ack_loss=0.0)
+        delivered, failed = [], []
+        link.send(
+            0, 1, packet(),
+            on_delivered=delivered.append,
+            on_failed=lambda p, at: failed.append(p),
+        )
+        sim.run_until(5.0)
+        assert not delivered
+        assert len(failed) == 1
+        assert link.stats.attempts == 3        # original + 2 retransmits
+        assert link.stats.exhausted == 1
+
+    def test_ack_energy_charged_to_ack_ledger(self):
+        sim, net = build_pair(base_loss=0.0, contention_loss=0.0)
+        link = ArqLink(net, random.Random(5), ack_loss=0.0)
+        link.send(0, 1, packet())
+        sim.run_until(1.0)
+        assert net.energy.total_by_kind("ack") > 0.0
+
+    def test_dup_cache_is_bounded(self):
+        sim, net = build_pair(base_loss=0.0, contention_loss=0.0)
+        link = ArqLink(net, random.Random(5), ack_loss=0.0, cache_size=4)
+        for i in range(20):
+            link.send(0, 1, packet(now=i * 0.05))
+        sim.run_until(5.0)
+        assert len(link._seen[1]) <= 4
+
+    def test_backoff_grows_with_attempt(self):
+        sim, net = build_pair()
+        link = ArqLink(
+            net, random.Random(5), backoff=0.01, backoff_factor=2.0,
+            jitter=0.0,
+        )
+        assert link._backoff_delay(0) == pytest.approx(0.01)
+        assert link._backoff_delay(2) == pytest.approx(0.04)

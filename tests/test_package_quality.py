@@ -49,6 +49,8 @@ def test_every_module_has_a_docstring(module_name):
         "repro.experiments",
         "repro.viz",
         "repro.devtools",
+        "repro.chaos",
+        "repro.recovery",
     ],
 )
 def test_all_exports_resolve(package_name):
