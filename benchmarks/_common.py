@@ -6,8 +6,9 @@ Every bench:
   ``REFER_BENCH_SEEDS`` (default 2), ``REFER_BENCH_SIM_TIME`` (default
   30 s measured), ``REFER_BENCH_RATE`` (default 12 packets/s/source);
 * regenerates one evaluation figure via ``repro.experiments.figures``;
-* prints the series table (also saved under ``benchmarks/results/``)
-  so the rows the paper plots can be read off the bench output;
+* prints the series table (also saved under ``benchmarks/results/``,
+  with a machine-readable ``BENCH_<name>.json`` twin) so the rows the
+  paper plots can be read off the bench output or scraped by tooling;
 * asserts the figure's qualitative shape (who wins, what grows).
 
 Point the knobs higher (e.g. ``REFER_BENCH_SEEDS=5
@@ -18,6 +19,7 @@ tens of minutes on a laptop.
 
 from __future__ import annotations
 
+import json
 import os
 import pathlib
 
@@ -42,11 +44,43 @@ def bench_base_config() -> ScenarioConfig:
     )
 
 
+def figure_to_dict(data: FigureData) -> dict:
+    """The JSON-serialisable form of one regenerated figure."""
+    return {
+        "figure": data.figure,
+        "title": data.title,
+        "xlabel": data.xlabel,
+        "ylabel": data.ylabel,
+        "series": {
+            system: [
+                {
+                    "x": p.x,
+                    "mean": p.mean,
+                    "ci95": p.ci95,
+                    "samples": p.samples,
+                }
+                for p in points
+            ]
+            for system, points in data.series.items()
+        },
+    }
+
+
 def emit(data: FigureData, filename: str) -> str:
-    """Render, persist and print one regenerated figure."""
+    """Render, persist and print one regenerated figure.
+
+    Writes the human table to ``results/<filename>`` and a
+    machine-readable twin to ``results/BENCH_<stem>.json`` (sorted
+    keys, so reruns of identical data are byte-identical).
+    """
     table = format_figure(data)
     RESULTS_DIR.mkdir(exist_ok=True)
     (RESULTS_DIR / filename).write_text(table + "\n", encoding="utf-8")
+    stem = pathlib.Path(filename).stem
+    (RESULTS_DIR / f"BENCH_{stem}.json").write_text(
+        json.dumps(figure_to_dict(data), indent=2, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )
     print("\n" + table)
     return table
 

@@ -1,0 +1,103 @@
+"""Telemetry overhead gate: an enabled run must cost <= 5% wall time.
+
+The telemetry design claims observation is cheap: the registry is
+always on underneath (the stats views write through it either way), so
+enabling telemetry only adds the flight recorder's per-hop appends and
+the profiler's per-event dict bumps.  This bench runs the same REFER
+scenario with ``telemetry=None`` and ``telemetry=TelemetryConfig()``,
+takes the best of ``REPEATS`` interleaved passes of each (best-of
+discards scheduler noise; interleaving discards warm-up bias), and
+gates the ratio at ``REFER_BENCH_TELEMETRY_BUDGET`` (default 1.05).
+
+The run's *numbers* must also match exactly — the overhead gate is
+meaningless if the observed run diverges from the unobserved one.
+"""
+
+import gc
+import os
+import time
+
+from repro.experiments.config import ScenarioConfig
+from repro.experiments.runner import run_scenario
+from repro.telemetry.config import TelemetryConfig
+
+from _common import RESULTS_DIR
+
+REPEATS = int(os.environ.get("REFER_BENCH_TELEMETRY_REPEATS", "3"))
+BUDGET = float(os.environ.get("REFER_BENCH_TELEMETRY_BUDGET", "1.05"))
+
+#: Metric fields that must be identical with telemetry on and off.
+METRIC_FIELDS = (
+    "throughput_bps",
+    "mean_delay_s",
+    "comm_energy_j",
+    "construction_energy_j",
+    "generated",
+    "delivered_qos",
+    "delivered_total",
+    "dropped",
+    "flood_comm_energy_j",
+)
+
+
+def bench_config():
+    sim_time = float(os.environ.get("REFER_BENCH_TELEMETRY_SIM_TIME", "20"))
+    return ScenarioConfig(
+        seed=11,
+        sensor_count=100,
+        sim_time=sim_time,
+        warmup=max(2.0, sim_time / 10.0),
+        rate_pps=12.0,
+    )
+
+
+def timed_run(config):
+    # Start every timed pass from a collected heap: the previous run's
+    # garbage otherwise triggers collections inside this run's window,
+    # charged to whichever variant happens to run second.
+    gc.collect()
+    start = time.perf_counter()
+    result = run_scenario("REFER", config)
+    return time.perf_counter() - start, result
+
+
+def test_telemetry_overhead_gate():
+    base = bench_config()
+    enabled_cfg = base.with_(telemetry=TelemetryConfig())
+    best_off = best_on = None
+    result_off = result_on = None
+    for _ in range(REPEATS):
+        t_off, result_off = timed_run(base)
+        t_on, result_on = timed_run(enabled_cfg)
+        best_off = t_off if best_off is None else min(best_off, t_off)
+        best_on = t_on if best_on is None else min(best_on, t_on)
+
+    for field in METRIC_FIELDS:
+        assert repr(getattr(result_off, field)) == repr(
+            getattr(result_on, field)
+        ), f"telemetry perturbed {field}"
+    assert result_off.telemetry is None
+    assert result_on.telemetry is not None
+    assert result_on.telemetry.flight.journeys_started > 0
+
+    ratio = best_on / best_off
+    table = "\n".join(
+        [
+            "telemetry overhead (REFER, %d sensors, %.0f s measured,"
+            " best of %d)" % (base.sensor_count, base.sim_time, REPEATS),
+            "",
+            "  disabled   %8.3f s" % best_off,
+            "  enabled    %8.3f s" % best_on,
+            "  ratio      %8.3f   (budget %.2f)" % (ratio, BUDGET),
+            "  flight journeys   %d" % result_on.telemetry.flight.journeys_started,
+            "  flight events     %d" % result_on.telemetry.flight.events_recorded,
+        ]
+    )
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "telemetry_overhead.txt").write_text(
+        table + "\n", encoding="utf-8"
+    )
+    print("\n" + table)
+    assert ratio <= BUDGET, (
+        f"telemetry overhead {ratio:.3f} exceeds budget {BUDGET:.2f}"
+    )

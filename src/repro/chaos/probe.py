@@ -19,7 +19,14 @@ from repro.chaos.models import FaultEvent
 from repro.errors import ConfigError
 from repro.net.packet import Packet
 from repro.sim.core import Simulator
+from repro.telemetry.registry import Registry
 from repro.util.stats import RunningStat
+
+#: Latency buckets for detection/repair histograms: sub-second through
+#: multi-round detector horizons (seconds, ascending).
+_LATENCY_BUCKETS = (
+    0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 25.0, 50.0, 100.0, 250.0,
+)
 
 
 @dataclass(frozen=True)
@@ -109,7 +116,12 @@ class ResilienceProbe:
     because the pre-fault baseline may fall inside warm-up.
     """
 
-    def __init__(self, sim: Simulator, window: float = 1.0) -> None:
+    def __init__(
+        self,
+        sim: Simulator,
+        window: float = 1.0,
+        registry: Optional[Registry] = None,
+    ) -> None:
         if window <= 0:
             raise ConfigError("probe window must be positive")
         self._sim = sim
@@ -118,6 +130,19 @@ class ResilienceProbe:
         self._delivered: Dict[int, int] = defaultdict(int)
         self._detection = RunningStat()
         self._repair = RunningStat()
+        self._detection_hist = None
+        self._repair_hist = None
+        if registry is not None:
+            self._detection_hist = registry.histogram(
+                "recovery_detection_latency_seconds",
+                "fault injection to condemnation verdict",
+                buckets=_LATENCY_BUCKETS,
+            )
+            self._repair_hist = registry.histogram(
+                "recovery_repair_latency_seconds",
+                "fault injection to structural repair",
+                buckets=_LATENCY_BUCKETS,
+            )
 
     # -- packet hooks --------------------------------------------------------
 
@@ -135,12 +160,18 @@ class ResilienceProbe:
     def on_detected(self, latency: float) -> None:
         """A failure detector condemned a faulted node ``latency``
         sim-seconds after the chaos model broke it."""
-        self._detection.add(max(0.0, latency))
+        latency = max(0.0, latency)
+        self._detection.add(latency)
+        if self._detection_hist is not None:
+            self._detection_hist.observe(latency)
 
     def on_repaired(self, latency: float) -> None:
         """A structural repair (vertex reassignment or CAN takeover)
         landed ``latency`` sim-seconds after the fault."""
-        self._repair.add(max(0.0, latency))
+        latency = max(0.0, latency)
+        self._repair.add(latency)
+        if self._repair_hist is not None:
+            self._repair_hist.observe(latency)
 
     def _index(self, when: float) -> int:
         return int(when / self.window)

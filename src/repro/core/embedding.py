@@ -28,7 +28,6 @@ energy ledger through the network's flood and charge primitives.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import EmbeddingError
@@ -38,6 +37,8 @@ from repro.kautz.graph import KautzGraph
 from repro.kautz.namespace import overlap
 from repro.kautz.strings import KautzString
 from repro.net.network import WirelessNetwork
+from repro.telemetry.registry import Registry
+from repro.telemetry.views import StatsView, counter_field, gauge_field
 from repro.util.hashing import consistent_hash
 from repro.wsan.deployment import DeploymentPlan
 
@@ -108,15 +109,23 @@ def sensor_bridge_endpoints(
     )
 
 
-@dataclass
-class EmbeddingStats:
-    """What the protocol did, for tests and the construction bench."""
+class EmbeddingStats(StatsView):
+    """What the protocol did, for tests and the construction bench.
 
-    starting_server: int = -1
-    actuator_colors: Dict[int, int] = field(default_factory=dict)
-    path_queries: int = 0
-    fallback_selections: int = 0
-    generic_fill_assignments: int = 0
+    Counters live as ``embedding_*`` registry metrics;
+    ``actuator_colors`` is a plain payload (a mapping, not a number).
+    """
+
+    _group = "embedding"
+
+    starting_server = gauge_field("elected starting server", default=-1)
+    path_queries = counter_field("TTL=2 path queries issued")
+    fallback_selections = counter_field("degraded path selections")
+    generic_fill_assignments = counter_field("fill-in loop assignments")
+
+    def __init__(self, registry: Optional[Registry] = None) -> None:
+        super().__init__(registry)
+        self.actuator_colors: Dict[int, int] = {}
 
 
 class EmbeddingProtocol:
@@ -138,7 +147,7 @@ class EmbeddingProtocol:
         self.plan = plan
         self.rng = rng
         self.graph = KautzGraph(degree, diameter)
-        self.stats = EmbeddingStats()
+        self.stats = EmbeddingStats(registry=network.registry)
         self._claimed: set = set()   # sensors already embedded somewhere
 
     # ------------------------------------------------------------------

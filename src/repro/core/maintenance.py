@@ -23,31 +23,39 @@ probe broadcast.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.cell import EmbeddedCell
 from repro.kautz.strings import KautzString
 from repro.net.network import WirelessNetwork
 from repro.sim.process import PeriodicProcess
+from repro.telemetry.registry import Registry
+from repro.telemetry.views import StatsView, counter_field
 from repro.util.stats import RunningStat
 from repro.wsan.duty_cycle import DutyCycleManager, SensorState
 
 
-@dataclass
-class MaintenanceStats:
-    probes: int = 0
-    replacements: int = 0
-    failed_replacements: int = 0
-    rounds: int = 0
+class MaintenanceStats(StatsView):
+    """Maintenance counters, as ``maintenance_*`` registry metrics."""
+
+    _group = "maintenance"
+
+    probes = counter_field("per-round probe broadcasts sent")
+    replacements = counter_field("vertices successfully reassigned")
+    failed_replacements = counter_field("replacements with no candidate")
+    rounds = counter_field("maintenance rounds executed")
     #: Replacements of vertices whose node a chaos fault had broken
     #: (attributable only when a fault clock is installed).
-    fault_replacements: int = 0
-    #: Sim-seconds from vertex break to successful reassignment.  The
-    #: break time comes from the chaos fault clock when available and
-    #: otherwise from the first maintenance round that saw the vertex
-    #: broken (an upper bound one probe period coarse).
-    replacement_latency: RunningStat = field(default_factory=RunningStat)
+    fault_replacements = counter_field("replacements of chaos-broken vertices")
+
+    def __init__(self, registry: Optional[Registry] = None) -> None:
+        super().__init__(registry)
+        #: Sim-seconds from vertex break to successful reassignment.
+        #: The break time comes from the chaos fault clock when
+        #: available and otherwise from the first maintenance round
+        #: that saw the vertex broken (an upper bound one probe period
+        #: coarse).
+        self.replacement_latency = RunningStat()
 
 
 class TopologyMaintenance:
@@ -70,7 +78,7 @@ class TopologyMaintenance:
         self.cells = list(cells)
         self.duty = duty
         self.rng = rng
-        self.stats = MaintenanceStats()
+        self.stats = MaintenanceStats(registry=network.registry)
         self._is_member = is_member
         self._claim = claim
         self._release = release

@@ -14,7 +14,6 @@ delivers within the destination cell.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.core.cell import EmbeddedCell
@@ -26,6 +25,7 @@ from repro.kautz.namespace import kautz_distance
 from repro.kautz.strings import KautzString
 from repro.net.network import WirelessNetwork
 from repro.net.packet import Packet
+from repro.telemetry.views import StatsView, counter_field
 from repro.util.geometry import Point
 from repro.wsan.deployment import Cell, DeploymentPlan
 
@@ -33,20 +33,23 @@ DeliveredCallback = Callable[[Packet], None]
 DroppedCallback = Callable[[Packet], None]
 
 
-@dataclass
-class RoutingStats:
-    intra_messages: int = 0
-    inter_messages: int = 0
-    detours: int = 0              # non-best successors taken
-    congestion_detours: int = 0   # successors skipped for backlog
-    drops: int = 0
-    entry_relays: int = 0         # hops spent reaching a cell member
-    fault_detours: int = 0        # detours taken while chaos faults were active
-    fault_drops: int = 0          # drops suffered while chaos faults were active
+class RoutingStats(StatsView):
+    """Router counters, as ``routing_*`` registry metrics."""
+
+    _group = "routing"
+
+    intra_messages = counter_field("intra-cell routing invocations")
+    inter_messages = counter_field("messages crossing the actuator tier")
+    detours = counter_field("non-best successors taken")
+    congestion_detours = counter_field("successors skipped for backlog")
+    drops = counter_field("end-to-end packets dropped by the router")
+    entry_relays = counter_field("hops spent reaching a cell member")
+    fault_detours = counter_field("detours while chaos faults were active")
+    fault_drops = counter_field("drops while chaos faults were active")
     #: Hops saved by an ARQ retransmission (recovery layer installed);
     #: ``detours`` counts the hops that needed Theorem 3.8 switching
     #: instead — together they split recovery between the two layers.
-    retransmit_recovered: int = 0
+    retransmit_recovered = counter_field("hops saved by an ARQ retransmit")
 
 
 class ReferRouter:
@@ -67,7 +70,7 @@ class ReferRouter:
         self.network = network
         self.plan = plan
         self.cells = {cell.cid: cell for cell in cells}
-        self.stats = RoutingStats()
+        self.stats = RoutingStats(registry=network.registry)
         self._max_hops = max_hops
         self._congestion_threshold = congestion_threshold
         # node -> cell lookups happen per packet (twice per send_to),
@@ -319,7 +322,7 @@ class ReferRouter:
             default=None,
         )
         if nearest_member is None:
-            self._drop(packet, on_dropped)
+            self._drop(packet, on_dropped, "no-cell-member")
             return
         target_pos = self.network.node(nearest_member).position(now)
         relays = [
@@ -328,7 +331,7 @@ class ReferRouter:
             if self.network.node(nb).is_sensor and not cell.holds(nb)
         ]
         if not relays:
-            self._drop(packet, on_dropped)
+            self._drop(packet, on_dropped, "no-entry-relay")
             return
         ordered = sorted(
             relays,
@@ -359,7 +362,7 @@ class ReferRouter:
                 relay, cell, self.network.sim.now, dest_kid
             )
             if not candidates2:
-                self._drop(pkt, on_dropped)
+                self._drop(pkt, on_dropped, "no-cell-member")
                 return
             self._enter_via_members(
                 relay, candidates2, cell, dest_kid, pkt,
@@ -373,7 +376,7 @@ class ReferRouter:
                     on_delivered, on_dropped,
                 )
             else:
-                self._drop(pkt, on_dropped)
+                self._drop(pkt, on_dropped, "entry-failed")
 
         self._unicast(
             source_id,
@@ -435,7 +438,7 @@ class ReferRouter:
                     on_delivered, on_dropped,
                 )
             else:
-                self._drop(pkt, on_dropped)
+                self._drop(pkt, on_dropped, "entry-failed")
 
         self._hop_then_route(
             from_id, member, cell, dest_kid, packet,
@@ -467,7 +470,7 @@ class ReferRouter:
 
         if on_entry_failed is None:
             def on_entry_failed(pkt, at):
-                self._drop(pkt, on_dropped)
+                self._drop(pkt, on_dropped, "entry-failed")
 
         self._unicast(
             from_id,
@@ -498,7 +501,7 @@ class ReferRouter:
             # The relay was replaced while the packet was in flight
             # (maintenance raced the forwarding); the new holder will
             # be used on retransmission — this copy is lost.
-            self._drop(packet, on_dropped)
+            self._drop(packet, on_dropped, "relay-replaced")
             return
         kid = cell.kid_of(at_node)
         if visited is None:
@@ -510,7 +513,7 @@ class ReferRouter:
                 on_delivered(packet)
             return
         if hops_left <= 0:
-            self._drop(packet, on_dropped)
+            self._drop(packet, on_dropped, "hop-limit")
             return
         candidates = [
             row.successor
@@ -563,7 +566,7 @@ class ReferRouter:
                 if cell.kid_of(m) not in visited and m != at_node
             ]
             if not fallback or hops_left <= 0:
-                self._drop(packet, on_dropped)
+                self._drop(packet, on_dropped, "no-successor")
                 return
             member = fallback[0]
             member_kid = cell.kid_of(member)
@@ -585,7 +588,9 @@ class ReferRouter:
                 member,
                 packet,
                 on_delivered=fb_arrived,
-                on_failed=lambda pkt, at: self._drop(pkt, on_dropped),
+                on_failed=lambda pkt, at: self._drop(
+                    pkt, on_dropped, "fallback-hop-failed"
+                ),
                 deliver_to_handler=is_dest,
             )
             return
@@ -595,6 +600,12 @@ class ReferRouter:
             self.stats.detours += 1
             if self._fault_active():
                 self.stats.fault_detours += 1
+            flight = self.network.flight
+            if flight is not None:
+                flight.detour(
+                    packet.uid, self.network.sim.now, at_node,
+                    str(succ_kid), index,
+                )
         is_final = succ_kid == dest_kid
 
         def arrived(pkt: Packet) -> None:
@@ -650,7 +661,7 @@ class ReferRouter:
         now = self.network.sim.now
         nxt = self._next_tier_actuator(actuator_id, dest, visited, now)
         if nxt is None:
-            self._drop(packet, on_dropped)
+            self._drop(packet, on_dropped, "tier-stall")
             return
 
         def arrived(pkt: Packet) -> None:
@@ -664,7 +675,9 @@ class ReferRouter:
             nxt,
             packet,
             on_delivered=arrived,
-            on_failed=lambda pkt, at: self._drop(pkt, on_dropped),
+            on_failed=lambda pkt, at: self._drop(
+                pkt, on_dropped, "tier-hop-failed"
+            ),
             deliver_to_handler=False,
         )
 
@@ -744,8 +757,15 @@ class ReferRouter:
     # ------------------------------------------------------------------
 
     def _drop(
-        self, packet: Packet, on_dropped: Optional[DroppedCallback]
+        self,
+        packet: Packet,
+        on_dropped: Optional[DroppedCallback],
+        reason: str = "unknown",
     ) -> None:
+        """Abandon the packet, stamping the drop-reason taxonomy entry
+        (:data:`repro.telemetry.flight.DROP_REASONS`) into the packet
+        for the metrics layer and the flight recorder."""
+        packet.meta["drop_reason"] = reason
         self.stats.drops += 1
         if self._fault_active():
             self.stats.fault_drops += 1

@@ -1,15 +1,15 @@
 """The REFER rule pack: the invariants the type system cannot see.
 
-Importing this module registers every built-in rule (REF001–REF006)
+Importing this module registers every built-in rule (REF001–REF007)
 with :mod:`repro.devtools.rules`.  The ids are stable — suppression
 comments and baseline files reference them — so rules are never
 renumbered, only retired.
 
 Scope conventions:
 
-* *Library rules* (REF001, REF002, REF004) skip test files — tests
-  legitimately assert exact floats of deterministic runs and may drive
-  ``random.Random`` instances directly.
+* *Library rules* (REF001, REF002, REF004, REF007) skip test files —
+  tests legitimately assert exact floats of deterministic runs, may
+  drive ``random.Random`` instances directly, and may print.
 * *Universal rules* (REF003, REF005, REF006) run everywhere: silently
   swallowed exceptions and mutable defaults are as harmful in a test
   as in the library.
@@ -267,6 +267,43 @@ class NoMutableDefault(Rule):
                     "mutable default argument; use None and construct "
                     "inside the function body",
                 )
+
+
+@register
+class NoPrintInProtocolCode(Rule):
+    """REF007 — protocol modules never ``print()``.
+
+    A ``print()`` inside the simulation stack is observability by
+    stdout: it interleaves with sweep progress output, cannot be
+    filtered or capped, and tempts callers into parsing text that was
+    never a contract.  Protocol code records what happened through the
+    telemetry registry (counters, histograms), the flight recorder or
+    ``TraceLog``; rendering is the job of the report/figure CLIs.
+    """
+
+    rule_id = "REF007"
+    title = "no print() in protocol modules"
+    rationale = (
+        "protocol code must report through telemetry (registry, "
+        "flight recorder, TraceLog), not stdout"
+    )
+    node_types = (ast.Call,)
+
+    def applies_to(self, ctx: RuleContext) -> bool:
+        return not ctx.is_test_file and ctx.in_directory(
+            "sim", "net", "core", "wsan", "chaos", "recovery",
+            "kautz", "dht", "baselines",
+        )
+
+    def visit(self, node: ast.AST, ctx: RuleContext) -> None:
+        func = node.func  # type: ignore[attr-defined]
+        if isinstance(func, ast.Name) and func.id == "print":
+            ctx.report(
+                self,
+                node,
+                "print() in protocol code; record through the telemetry "
+                "registry / flight recorder / TraceLog instead",
+            )
 
 
 @register

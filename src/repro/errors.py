@@ -42,3 +42,7 @@ class DHTError(ReproError):
 
 class ConfigError(ReproError):
     """An experiment or system configuration is inconsistent."""
+
+
+class TelemetryError(ReproError):
+    """The telemetry registry/recorder was used incorrectly."""

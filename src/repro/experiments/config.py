@@ -19,6 +19,7 @@ from typing import Optional, Tuple
 from repro.chaos.spec import FaultSpec
 from repro.errors import ConfigError
 from repro.recovery.config import RecoveryConfig
+from repro.telemetry.config import TelemetryConfig
 
 
 @dataclass(frozen=True)
@@ -63,6 +64,11 @@ class ScenarioConfig:
     #: (the default) keeps the seed's omniscient behaviour bit-exact;
     #: only REFER consumes it (baselines ignore the field).
     recovery: Optional[RecoveryConfig] = None
+    #: Telemetry (:mod:`repro.telemetry`): flight recorder, sim-time
+    #: profiler and the exported registry snapshot.  ``None`` (the
+    #: default) disables observation; the run's numbers are identical
+    #: either way (the determinism test pins this).
+    telemetry: Optional[TelemetryConfig] = None
     kautz_degree: int = 2            # REFER cell K(d, 3)
     #: Serve neighbour queries from the spatial hash grid
     #: (:mod:`repro.net.spatial`).  Off = brute-force scan; results are
@@ -90,6 +96,10 @@ class ScenarioConfig:
             self.recovery, RecoveryConfig
         ):
             raise ConfigError("recovery must be a RecoveryConfig or None")
+        if self.telemetry is not None and not isinstance(
+            self.telemetry, TelemetryConfig
+        ):
+            raise ConfigError("telemetry must be a TelemetryConfig or None")
 
     @property
     def end_time(self) -> float:

@@ -16,7 +16,17 @@ from typing import Optional
 from repro.chaos.probe import ResilienceProbe
 from repro.net.packet import Packet
 from repro.sim.core import Simulator
+from repro.telemetry.flight import FlightRecorder
+from repro.telemetry.registry import Registry
 from repro.util.stats import RunningStat
+
+#: Delivery-latency buckets (seconds): sub-millisecond MAC times up
+#: through multi-second detour tails, with 0.6 s (the paper's QoS
+#: deadline) an exact bound so the histogram splits cleanly on it.
+_LATENCY_BUCKETS = (
+    0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.2, 0.4, 0.6,
+    1.0, 2.0, 5.0,
+)
 
 
 class MetricsCollector:
@@ -24,7 +34,13 @@ class MetricsCollector:
 
     An optional :class:`ResilienceProbe` sees every packet event
     *before* the warm-up filter — a fault's pre-event baseline may sit
-    inside warm-up, so the probe needs the full record.
+    inside warm-up, so the probe needs the full record.  The optional
+    ``registry``/``flight`` hooks likewise observe every packet
+    (warm-up included; the exported counters say so): the registry
+    gains ``packets_generated``/``packets_delivered`` counters, a
+    ``packets_dropped`` family labelled by the drop reason the router
+    stamped into ``packet.meta``, and a delivery-latency histogram;
+    the flight recorder gets the generate/deliver/drop span ends.
     """
 
     def __init__(
@@ -33,11 +49,14 @@ class MetricsCollector:
         qos_deadline: float,
         warmup_end: float,
         probe: Optional[ResilienceProbe] = None,
+        registry: Optional[Registry] = None,
+        flight: Optional[FlightRecorder] = None,
     ) -> None:
         self._sim = sim
         self._qos_deadline = qos_deadline
         self._warmup_end = warmup_end
         self._probe = probe
+        self._flight = flight
         self.generated = 0
         self.delivered_total = 0
         self.delivered_qos = 0
@@ -45,6 +64,27 @@ class MetricsCollector:
         self.qos_bytes = 0
         self.delay = RunningStat()
         self.all_delay = RunningStat()
+        self._generated_ctr = None
+        self._delivered_ctr = None
+        self._dropped_family = None
+        self._latency_hist = None
+        if registry is not None:
+            self._generated_ctr = registry.counter(
+                "packets_generated", "workload packets created (all, incl. warm-up)"
+            )
+            self._delivered_ctr = registry.counter(
+                "packets_delivered", "packets that reached an actuator (all)"
+            )
+            self._dropped_family = registry.counter(
+                "packets_dropped",
+                "packets dropped, by routing drop reason (all)",
+                labels=("reason",),
+            )
+            self._latency_hist = registry.histogram(
+                "delivery_latency_seconds",
+                "end-to-end latency of delivered packets (all)",
+                buckets=_LATENCY_BUCKETS,
+            )
 
     def _measured(self, packet: Packet) -> bool:
         return packet.created_at >= self._warmup_end
@@ -52,15 +92,30 @@ class MetricsCollector:
     def on_generated(self, packet: Packet) -> None:
         if self._probe is not None:
             self._probe.on_generated(packet)
+        if self._generated_ctr is not None:
+            self._generated_ctr.inc()
+        if self._flight is not None:
+            self._flight.generated(
+                packet.uid, packet.created_at, packet.source,
+                packet.destination,
+            )
         if self._measured(packet):
             self.generated += 1
 
     def on_delivered(self, packet: Packet) -> None:
         if self._probe is not None:
             self._probe.on_delivered(packet)
+        latency = packet.latency(self._sim.now)
+        if self._delivered_ctr is not None:
+            self._delivered_ctr.inc()
+            self._latency_hist.observe(latency)
+        if self._flight is not None:
+            self._flight.delivered(
+                packet.uid, self._sim.now, packet.destination,
+                tuple(packet.hops),
+            )
         if not self._measured(packet):
             return
-        latency = packet.latency(self._sim.now)
         self.delivered_total += 1
         self.all_delay.add(latency)
         if latency <= self._qos_deadline:
@@ -71,6 +126,11 @@ class MetricsCollector:
     def on_dropped(self, packet: Packet) -> None:
         if self._probe is not None:
             self._probe.on_dropped(packet)
+        reason = packet.meta.get("drop_reason") or "unknown"
+        if self._dropped_family is not None:
+            self._dropped_family.child(reason).inc()
+        if self._flight is not None:
+            self._flight.dropped(packet.uid, self._sim.now, reason)
         if self._measured(packet):
             self.dropped += 1
 

@@ -31,6 +31,7 @@ from repro.net.energy import Phase
 from repro.net.network import WirelessNetwork
 from repro.recovery import RecoveryOrchestrator, RecoveryReport
 from repro.sim.core import Simulator
+from repro.telemetry.config import Telemetry
 from repro.util.rng import RngStreams
 from repro.wsan.deployment import plan_deployment
 from repro.wsan.system import WsanSystem, build_nodes
@@ -70,6 +71,9 @@ class RunResult:
     #: Self-healing stack report; populated only when the config
     #: carries a ``recovery`` block and the system is REFER.
     recovery: Optional[RecoveryReport] = None
+    #: Live telemetry bundle (registry + flight recorder + profiler);
+    #: populated only when the config carries a ``telemetry`` block.
+    telemetry: Optional[Telemetry] = None
 
     @property
     def total_energy_j(self) -> float:
@@ -90,8 +94,16 @@ def run_scenario(system_name: str, config: ScenarioConfig) -> RunResult:
         ) from None
     streams = RngStreams(config.seed)
     sim = Simulator()
+    telemetry: Optional[Telemetry] = None
+    if config.telemetry is not None:
+        telemetry = Telemetry.from_config(config.telemetry)
+        if telemetry.profiler is not None:
+            sim.set_profiler(telemetry.profiler)
     network = WirelessNetwork(
-        sim, streams.stream("mac"), use_spatial_index=config.spatial_index
+        sim,
+        streams.stream("mac"),
+        use_spatial_index=config.spatial_index,
+        telemetry=telemetry,
     )
     plan = plan_deployment(
         config.sensor_count,
@@ -127,12 +139,16 @@ def run_scenario(system_name: str, config: ScenarioConfig) -> RunResult:
 
     probe: Optional[ResilienceProbe] = None
     if config.fault_spec:
-        probe = ResilienceProbe(sim, window=config.probe_window)
+        probe = ResilienceProbe(
+            sim, window=config.probe_window, registry=network.registry
+        )
     metrics = MetricsCollector(
         sim,
         qos_deadline=config.qos_deadline,
         warmup_end=config.warmup,
         probe=probe,
+        registry=network.registry,
+        flight=network.flight,
     )
     workload = CbrWorkload(
         sim,
@@ -218,6 +234,10 @@ def run_scenario(system_name: str, config: ScenarioConfig) -> RunResult:
     recovery_report: Optional[RecoveryReport] = None
     if orchestrator is not None:
         recovery_report = orchestrator.report(fault_events)
+    if telemetry is not None:
+        if orchestrator is not None:
+            telemetry.verdicts = tuple(orchestrator.detector.verdicts)
+        telemetry.finalize()
 
     return RunResult(
         system=system.name,
@@ -236,6 +256,7 @@ def run_scenario(system_name: str, config: ScenarioConfig) -> RunResult:
         resilience=resilience,
         fault_events=fault_events,
         recovery=recovery_report,
+        telemetry=telemetry,
     )
 
 

@@ -5,14 +5,28 @@ packet and reports two ledgers: energy consumed in *topology
 construction* and in *communication* (data forwarding + maintenance).
 :class:`EnergyLedger` keeps both, split by phase and by node, so every
 figure's energy series comes straight out of this module.
+
+The joules live in telemetry counter families
+(:mod:`repro.telemetry.registry`):
+
+* ``energy_joules{phase}`` — the per-phase totals,
+* ``energy_node_joules{node, phase}`` — the per-node split,
+* ``energy_kind_joules{kind, phase}`` — the traffic-class split,
+* ``energy_tx_packets`` / ``energy_rx_packets`` — radio activity.
+
+Pass ``registry=`` to share a run's registry (the network does); the
+default private registry keeps standalone ledgers dependency-free.
+The accessors below preserve the historical float accumulation order
+exactly, so ledger totals are bit-identical to the pre-registry code.
 """
 
 from __future__ import annotations
 
 import enum
-from collections import defaultdict
 from dataclasses import dataclass
-from typing import Dict, Optional, Tuple
+from typing import Dict, Optional
+
+from repro.telemetry.registry import Registry
 
 
 class Phase(enum.Enum):
@@ -41,14 +55,33 @@ class EnergyModel:
 class EnergyLedger:
     """Accumulates per-node, per-phase, per-traffic-class energy."""
 
-    def __init__(self, model: EnergyModel = EnergyModel()) -> None:
+    def __init__(
+        self,
+        model: EnergyModel = EnergyModel(),
+        registry: Optional[Registry] = None,
+    ) -> None:
         self.model = model
-        self._by_phase: Dict[Phase, float] = defaultdict(float)
-        self._by_node: Dict[Tuple[int, Phase], float] = defaultdict(float)
-        self._by_kind: Dict[Tuple[str, Phase], float] = defaultdict(float)
+        if registry is None:
+            registry = Registry()
+        self._by_phase = registry.counter(
+            "energy_joules", "joules charged per ledger phase",
+            labels=("phase",),
+        )
+        self._by_node = registry.counter(
+            "energy_node_joules", "joules charged per node and phase",
+            labels=("node", "phase"),
+        )
+        self._by_kind = registry.counter(
+            "energy_kind_joules", "joules charged per traffic kind and phase",
+            labels=("kind", "phase"),
+        )
+        self._tx_packets = registry.counter(
+            "energy_tx_packets", "packets charged in transmit mode"
+        )
+        self._rx_packets = registry.counter(
+            "energy_rx_packets", "packets charged in receive mode"
+        )
         self._phase = Phase.CONSTRUCTION
-        self.tx_packets = 0
-        self.rx_packets = 0
 
     # -- phase control ---------------------------------------------------
 
@@ -73,10 +106,11 @@ class EnergyLedger:
         way Section IV-D discusses.
         """
         joules = self.model.tx_joules * packets
-        self._by_phase[self._phase] += joules
-        self._by_node[(node_id, self._phase)] += joules
-        self._by_kind[(kind, self._phase)] += joules
-        self.tx_packets += packets
+        phase = self._phase.value
+        self._by_phase.child(phase).inc(joules)
+        self._by_node.child(node_id, phase).inc(joules)
+        self._by_kind.child(kind, phase).inc(joules)
+        self._tx_packets.inc(packets)
         return joules
 
     def charge_rx(
@@ -84,26 +118,37 @@ class EnergyLedger:
     ) -> float:
         """Charge ``packets`` receptions to ``node_id``; returns joules."""
         joules = self.model.rx_joules * packets
-        self._by_phase[self._phase] += joules
-        self._by_node[(node_id, self._phase)] += joules
-        self._by_kind[(kind, self._phase)] += joules
-        self.rx_packets += packets
+        phase = self._phase.value
+        self._by_phase.child(phase).inc(joules)
+        self._by_node.child(node_id, phase).inc(joules)
+        self._by_kind.child(kind, phase).inc(joules)
+        self._rx_packets.inc(packets)
         return joules
 
     # -- reporting ----------------------------------------------------------
 
+    @property
+    def tx_packets(self) -> int:
+        return self._tx_packets.value
+
+    @property
+    def rx_packets(self) -> int:
+        return self._rx_packets.value
+
     def total(self, phase: Phase) -> float:
         """Total joules charged in ``phase`` across all nodes."""
-        return self._by_phase[phase]
+        return self._by_phase.value_at(phase.value, default=0.0)
 
     def grand_total(self) -> float:
-        return sum(self._by_phase.values())
+        return sum(
+            metric.value for _, metric in self._by_phase.items()
+        )
 
     def node_total(self, node_id: int) -> float:
         """Total joules consumed by one node across phases."""
         return sum(
-            joules
-            for (nid, _), joules in self._by_node.items()
+            metric.value
+            for (nid, _), metric in self._by_node.items()
             if nid == node_id
         )
 
@@ -116,18 +161,18 @@ class EnergyLedger:
         the signal the resilience campaign compares across systems.
         """
         return sum(
-            joules
-            for (k, p), joules in self._by_kind.items()
-            if k == kind and (phase is None or p is phase)
+            metric.value
+            for (k, p), metric in self._by_kind.items()
+            if k == kind and (phase is None or p == phase.value)
         )
 
     def kinds(self, phase: Optional[Phase] = None) -> Dict[str, float]:
         """Traffic classes and totals, optionally filtered to one phase."""
-        totals: Dict[str, float] = defaultdict(float)
-        for (kind, p), joules in self._by_kind.items():
-            if phase is None or p is phase:
-                totals[kind] += joules
-        return dict(totals)
+        totals: Dict[str, float] = {}
+        for (kind, p), metric in self._by_kind.items():
+            if phase is None or p == phase.value:
+                totals[kind] = totals.get(kind, 0.0) + metric.value
+        return totals
 
     def construction_fraction(self) -> float:
         """Construction share of total energy (the paper's ~0.1% claim)."""

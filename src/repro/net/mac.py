@@ -57,6 +57,10 @@ class ContentionMac:
         self._medium = medium
         self._rng = rng
         self.config = config
+        # Telemetry hook (repro.telemetry.profiler): when set, every
+        # transmission reports its frame attempts as bytes on air.
+        # Observation only — it must never touch the RNG or timing.
+        self.profiler = None
 
     def _loss_probability(self, src_id: int, now: float) -> float:
         contention = self._medium.contention_at(src_id, now)
@@ -90,12 +94,16 @@ class ContentionMac:
 
         elapsed = start - now
         success = False
+        attempts = 0
         for _ in range(cfg.retry_limit + 1):
             backoff = cfg.slot_seconds * contention * self._rng.uniform(0.5, 1.5)
             elapsed += backoff + airtime
+            attempts += 1
             if self._rng.random() >= loss_p:
                 success = True
                 break
+        if self.profiler is not None:
+            self.profiler.on_air(packet.size_bytes, attempts)
         src.radio_busy_until = now + elapsed
         completion = now + elapsed + cfg.processing_delay
         self._sim.schedule(

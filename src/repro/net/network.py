@@ -24,6 +24,8 @@ from repro.net.node import Node
 from repro.net.packet import Packet, PacketKind
 from repro.sim.core import Simulator
 from repro.sim.trace import TraceLog
+from repro.telemetry.config import Telemetry
+from repro.telemetry.registry import Registry
 
 ReceiveHandler = Callable[[Packet], None]
 DeliveryCallback = Callable[[Packet], None]
@@ -41,25 +43,64 @@ class WirelessNetwork:
         energy_model: EnergyModel = EnergyModel(),
         trace_capacity: int = 2_000,
         use_spatial_index: bool = True,
+        telemetry: Optional[Telemetry] = None,
     ) -> None:
         self.sim = sim
+        #: The run's telemetry bundle (None on plain runs).  The
+        #: registry below is always present — stats views and the
+        #: energy ledger write through it either way, which is what
+        #: keeps disabled-telemetry runs byte-identical: the counters
+        #: replicate the exact arithmetic the old ad-hoc dicts did.
+        self.telemetry = telemetry
+        self.registry: Registry = (
+            telemetry.registry if telemetry is not None else Registry()
+        )
+        self.flight = telemetry.flight if telemetry is not None else None
         self.medium = WirelessMedium(use_spatial_index=use_spatial_index)
         self.mac = ContentionMac(sim, self.medium, rng, mac_config)
-        self.energy = EnergyLedger(energy_model)
-        self.trace = TraceLog(capacity=trace_capacity, enabled=False)
+        if telemetry is not None and telemetry.profiler is not None:
+            self.mac.profiler = telemetry.profiler
+        self.energy = EnergyLedger(energy_model, registry=self.registry)
+        self.trace = TraceLog(
+            capacity=trace_capacity, enabled=False, registry=self.registry
+        )
         self._rng = rng
         self._handlers: Dict[int, ReceiveHandler] = {}
-        #: Path-level outcomes of :meth:`send_along_path`: a relay that
-        #: reaches the end of its path counts as delivered, a relay
-        #: whose hop fails counts as dropped.  Protocols that drive
-        #: :meth:`send` directly (and recover locally) are accounted by
-        #: their own stats, not here.
-        self.delivered_packets = 0
-        self.dropped_packets = 0
-        #: Every failed hop *attempt* anywhere — including hops whose
-        #: packet the protocol then recovers over another path, so this
-        #: is always >= the end-to-end drop counts.
-        self.hop_failures = 0
+        # Path-level outcomes of :meth:`send_along_path` plus the hop
+        # failure tally, as registry counters (see the properties below
+        # for the semantics the old plain-int attributes had).
+        self._delivered_ctr = self.registry.counter(
+            "net_delivered_packets", "send_along_path relays completed"
+        )
+        self._dropped_ctr = self.registry.counter(
+            "net_dropped_packets", "send_along_path relays abandoned"
+        )
+        self._hop_fail_ctr = self.registry.counter(
+            "net_hop_failures", "failed hop attempts by cause",
+            labels=("cause",),
+        )
+
+    @property
+    def delivered_packets(self) -> int:
+        """Path-level outcomes of :meth:`send_along_path`: a relay that
+        reaches the end of its path counts as delivered, a relay whose
+        hop fails counts as dropped.  Protocols that drive :meth:`send`
+        directly (and recover locally) are accounted by their own
+        stats, not here."""
+        return self._delivered_ctr.value
+
+    @property
+    def dropped_packets(self) -> int:
+        return self._dropped_ctr.value
+
+    @property
+    def hop_failures(self) -> int:
+        """Every failed hop *attempt* anywhere — including hops whose
+        packet the protocol then recovers over another path, so this is
+        always >= the end-to-end drop counts."""
+        return sum(
+            metric.value for _, metric in self._hop_fail_ctr.items()
+        )
 
     # -- topology -----------------------------------------------------------
 
@@ -132,26 +173,43 @@ class WirelessNetwork:
         MAC loss after retries.
         """
         now = self.sim.now
+        flight = self.flight
         src = self.node(src_id)
         if not src.usable:
-            self._fail(packet, src_id, on_failed, delay=0.0)
+            if flight is not None:
+                flight.hop_fail(packet.uid, now, src_id, dst_id, "src-unusable")
+            self._fail(packet, src_id, on_failed, delay=0.0,
+                       cause="src-unusable")
             return
         packet.record_hop(src_id)
+        if flight is not None:
+            flight.hop_tx(
+                packet.uid, now, src_id, dst_id,
+                queued=src.radio_busy_until > now,
+            )
         self.energy.charge_tx(src_id, kind=packet.kind.value)
         src.drain(self.energy.model.tx_joules)
         if not self.medium.can_transmit(src_id, dst_id, now):
             self.trace.record(now, "link_break", f"{src_id}->{dst_id}")
+            if flight is not None:
+                flight.hop_fail(packet.uid, now, src_id, dst_id, "link-break")
             self._fail(
                 packet, src_id, on_failed,
                 delay=self.mac.config.failure_timeout,
+                cause="link-break",
             )
             return
 
         def complete(success: bool, at: float) -> None:
             if not success or not self.medium.node(dst_id).usable:
+                cause = "mac-loss" if not success else "dst-unusable"
                 self.trace.record(at, "mac_drop", f"{src_id}->{dst_id}")
-                self._fail(packet, src_id, on_failed, delay=0.0)
+                if flight is not None:
+                    flight.hop_fail(packet.uid, at, src_id, dst_id, cause)
+                self._fail(packet, src_id, on_failed, delay=0.0, cause=cause)
                 return
+            if flight is not None:
+                flight.hop_rx(packet.uid, at, src_id, dst_id)
             self.energy.charge_rx(dst_id, kind=packet.kind.value)
             self.node(dst_id).drain(self.energy.model.rx_joules)
             if on_delivered is not None:
@@ -169,8 +227,9 @@ class WirelessNetwork:
         at_node: int,
         on_failed: Optional[FailureCallback],
         delay: float,
+        cause: str = "mac-loss",
     ) -> None:
-        self.hop_failures += 1
+        self._hop_fail_ctr.child(cause).inc()
         if on_failed is None:
             return
         if delay > 0:
@@ -201,7 +260,7 @@ class WirelessNetwork:
         if len(path) < 1:
             raise NetworkError("empty path")
         if len(path) == 1:
-            self.delivered_packets += 1
+            self._delivered_ctr.inc()
             if on_delivered is not None:
                 on_delivered(packet)
             handler = self._handlers.get(path[0])
@@ -210,7 +269,9 @@ class WirelessNetwork:
             return
 
         def path_failed(pkt: Packet, at_node: int) -> None:
-            self.dropped_packets += 1
+            self._dropped_ctr.inc()
+            if pkt.meta.get("drop_reason") is None:
+                pkt.meta["drop_reason"] = "path-hop-failed"
             if on_failed is not None:
                 on_failed(pkt, at_node)
 
@@ -219,7 +280,7 @@ class WirelessNetwork:
 
             def delivered(pkt: Packet) -> None:
                 if last:
-                    self.delivered_packets += 1
+                    self._delivered_ctr.inc()
                     if on_delivered is not None:
                         on_delivered(pkt)
                 else:

@@ -28,7 +28,6 @@ from __future__ import annotations
 
 import random
 from collections import OrderedDict
-from dataclasses import dataclass
 from typing import Callable, Dict, Optional, Tuple
 
 from repro.net.network import (
@@ -37,21 +36,23 @@ from repro.net.network import (
     WirelessNetwork,
 )
 from repro.net.packet import Packet, PacketKind
+from repro.telemetry.views import StatsView, counter_field
 
 __all__ = ["ArqLink", "ArqStats"]
 
 
-@dataclass
-class ArqStats:
-    """Counters of one ARQ link layer."""
+class ArqStats(StatsView):
+    """Counters of one ARQ link layer (``arq_*`` registry metrics)."""
 
-    sends: int = 0                   # logical hops requested
-    attempts: int = 0                # data frames transmitted
-    retransmissions: int = 0         # attempts beyond the first
-    recovered_by_retransmit: int = 0  # hops saved by a retransmission
-    exhausted: int = 0               # budgets spent without an ACK
-    duplicates_suppressed: int = 0   # redundant arrivals absorbed
-    ack_losses: int = 0              # ACK frames lost
+    _group = "arq"
+
+    sends = counter_field("logical hops requested")
+    attempts = counter_field("data frames transmitted")
+    retransmissions = counter_field("attempts beyond the first")
+    recovered_by_retransmit = counter_field("hops saved by a retransmission")
+    exhausted = counter_field("budgets spent without an ACK")
+    duplicates_suppressed = counter_field("redundant arrivals absorbed")
+    ack_losses = counter_field("ACK frames lost")
 
 
 class _HopState:
@@ -96,7 +97,7 @@ class ArqLink:
         )
         self._cache_size = cache_size
         self._on_recovered = on_recovered
-        self.stats = ArqStats()
+        self.stats = ArqStats(registry=network.registry)
         self._seq: Dict[Tuple[int, int], int] = {}
         # receiver -> (sender, seq) LRU of recently accepted frames
         self._seen: Dict[int, "OrderedDict[Tuple[int, int], None]"] = {}
@@ -142,6 +143,12 @@ class ArqLink:
         self.stats.attempts += 1
         if attempt > 0:
             self.stats.retransmissions += 1
+            flight = self._network.flight
+            if flight is not None:
+                flight.arq_retry(
+                    packet.uid, self._network.sim.now, src_id, dst_id,
+                    attempt,
+                )
 
         def data_arrived(pkt: Packet) -> None:
             self._data_arrived(

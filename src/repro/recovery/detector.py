@@ -33,13 +33,15 @@ died with it (a node may always consult its own state).
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.net.network import WirelessNetwork
 from repro.net.packet import Packet, PacketKind
 from repro.recovery.config import RecoveryConfig
 from repro.sim.process import PeriodicProcess
+from repro.telemetry.registry import Registry
+from repro.telemetry.views import StatsView, counter_field
 from repro.util.stats import RunningStat
 
 __all__ = ["DetectorStats", "FailureDetector", "VerdictEvent"]
@@ -65,24 +67,29 @@ class VerdictEvent:
     kind: str                    # "condemn" | "absolve"
 
 
-@dataclass
-class DetectorStats:
-    """Counters and latency aggregates of one detector instance."""
+class DetectorStats(StatsView):
+    """Counters and latency aggregates of one detector instance
+    (``detector_*`` registry metrics)."""
 
-    rounds: int = 0
-    probes_sent: int = 0
-    replies: int = 0
-    late_replies: int = 0
-    misses: int = 0
-    condemnations: int = 0
-    absolutions: int = 0
+    _group = "detector"
+
+    rounds = counter_field("heartbeat rounds executed")
+    probes_sent = counter_field("PROBE frames sent")
+    replies = counter_field("replies within the timeout")
+    late_replies = counter_field("replies after the timeout fired")
+    misses = counter_field("probe misses")
+    condemnations = counter_field("targets condemned")
+    absolutions = counter_field("condemned targets absolved")
     #: Condemnations whose target the audit hook saw alive (FP).
-    false_positives: int = 0
+    false_positives = counter_field("condemnations of live targets")
     #: Condemnations attributable to a recorded fault (via the audit
     #: clock); each contributes one time-to-detect sample.
-    true_detections: int = 0
-    #: Sim-seconds from fault injection to condemnation.
-    detection_latency: RunningStat = field(default_factory=RunningStat)
+    true_detections = counter_field("condemnations matching real faults")
+
+    def __init__(self, registry: Optional[Registry] = None) -> None:
+        super().__init__(registry)
+        #: Sim-seconds from fault injection to condemnation.
+        self.detection_latency = RunningStat()
 
     @property
     def false_positive_rate(self) -> float:
@@ -126,7 +133,7 @@ class FailureDetector:
         self._pairs = pairs
         self._audit_usable = audit_usable
         self._audit_clock = audit_clock
-        self.stats = DetectorStats()
+        self.stats = DetectorStats(registry=network.registry)
         self.verdicts: List[VerdictEvent] = []
         self._states: Dict[int, _TargetState] = {}
         self._watched: set = set()

@@ -21,11 +21,12 @@ only inputs are verdict calls from the orchestrator.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Dict, List, Optional, Set, Tuple
 
 from repro.dht.can import CanOverlay, PointT
 from repro.errors import DHTError
+from repro.telemetry.registry import Registry
+from repro.telemetry.views import StatsView, counter_field
 from repro.wsan.deployment import DeploymentPlan
 
 __all__ = ["CanHealer", "HealerStats"]
@@ -33,19 +34,22 @@ __all__ = ["CanHealer", "HealerStats"]
 _EPS = 1e-9
 
 
-@dataclass
-class HealerStats:
-    """Counters of CAN repair activity."""
+class HealerStats(StatsView):
+    """Counters of CAN repair activity (``healer_*`` registry metrics)."""
 
-    takeovers: int = 0           # condemned actuators whose zones moved
-    rejoins: int = 0             # absolved actuators re-admitted
-    rehomed_keys: int = 0        # CID-key home changes (either direction)
+    _group = "healer"
+
+    takeovers = counter_field("condemned actuators whose zones moved")
+    rejoins = counter_field("absolved actuators re-admitted")
+    rehomed_keys = counter_field("CID-key home changes (either direction)")
 
 
 class CanHealer:
     """Actuator-keyed CAN with verdict-driven takeover and rejoin."""
 
-    def __init__(self, plan: DeploymentPlan) -> None:
+    def __init__(
+        self, plan: DeploymentPlan, registry: Optional[Registry] = None
+    ) -> None:
         side = plan.area_side
         self._points: Dict[int, PointT] = {
             index: (
@@ -61,7 +65,7 @@ class CanHealer:
         for actuator in sorted(self._points):
             self.overlay.join(actuator, self._points[actuator])
         self.suspected: Set[int] = set()
-        self.stats = HealerStats()
+        self.stats = HealerStats(registry=registry)
         self._homes: Dict[int, int] = {}
         self._rehome()
 

@@ -141,7 +141,7 @@ class RecoveryOrchestrator:
 
         self.healer: Optional[CanHealer] = None
         if config.heal_can:
-            self.healer = CanHealer(system.plan)
+            self.healer = CanHealer(system.plan, registry=network.registry)
             system.router.set_can_healer(self.healer)
 
         if config.detector:

@@ -24,6 +24,11 @@ class Simulator:
         self._running = False
         self._stopped = False
         self._processed = 0
+        # Optional telemetry hook (repro.telemetry.profiler): when set,
+        # events are executed through profiler.dispatch(action) so work
+        # can be attributed per callback.  None keeps the hot path at a
+        # direct call.
+        self._profiler = None
 
     # -- clock -------------------------------------------------------------
 
@@ -40,6 +45,14 @@ class Simulator:
     @property
     def pending_events(self) -> int:
         return len(self._queue)
+
+    def set_profiler(self, profiler) -> None:
+        """Install (or with ``None`` remove) an event-dispatch profiler.
+
+        ``profiler`` must expose ``dispatch(action)`` and is expected to
+        *execute* the action — it observes, it must not reorder or drop.
+        """
+        self._profiler = profiler
 
     # -- scheduling ---------------------------------------------------------
 
@@ -74,7 +87,10 @@ class Simulator:
             raise SimulationError("event queue returned a past event")
         self._now = event.time
         self._processed += 1
-        event.action()
+        if self._profiler is None:
+            event.action()
+        else:
+            self._profiler.dispatch(event.action)
         return True
 
     def run_until(self, end_time: float) -> None:

@@ -1,0 +1,49 @@
+"""Unified telemetry: registry, flight recorder, profiler, exporters.
+
+One :class:`~repro.telemetry.registry.Registry` per run is the single
+source of truth for every counter the simulation produces; the
+protocol stats objects are views over it
+(:mod:`repro.telemetry.views`), packet journeys live in the
+:class:`~repro.telemetry.flight.FlightRecorder`, simulated work is
+attributed by the :class:`~repro.telemetry.profiler.SimProfiler`, and
+:mod:`repro.telemetry.export` / :mod:`repro.telemetry.report` turn a
+run into JSONL, Prometheus text or a terminal report.
+
+Telemetry never changes behaviour: with
+``ScenarioConfig.telemetry=None`` a run is byte-identical to the
+pre-telemetry code, and enabling it adds observation only (no RNG
+draws, no scheduled events).
+"""
+
+from repro.telemetry.config import Telemetry, TelemetryConfig
+from repro.telemetry.flight import FlightEvent, FlightRecorder, Journey
+from repro.telemetry.profiler import SimProfiler
+from repro.telemetry.registry import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricFamily,
+    Registry,
+    Sample,
+)
+from repro.telemetry.views import StatsView, counter_field, gauge_field
+
+__all__ = [
+    "Counter",
+    "DEFAULT_BUCKETS",
+    "FlightEvent",
+    "FlightRecorder",
+    "Gauge",
+    "Histogram",
+    "Journey",
+    "MetricFamily",
+    "Registry",
+    "Sample",
+    "SimProfiler",
+    "StatsView",
+    "Telemetry",
+    "TelemetryConfig",
+    "counter_field",
+    "gauge_field",
+]

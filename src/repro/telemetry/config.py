@@ -1,0 +1,79 @@
+"""Telemetry configuration and the per-run telemetry bundle.
+
+:class:`TelemetryConfig` is a frozen dataclass so it can live inside
+the (hashable) :class:`~repro.experiments.config.ScenarioConfig` and
+take part in the run-memo key.  ``ScenarioConfig.telemetry is None``
+means *disabled*: the run carries a private registry for its stats
+views (free — the same additions the old dataclasses did) but spawns
+no flight recorder and no profiler, and ``RunResult.telemetry`` stays
+``None`` so results are byte-identical to pre-telemetry goldens.
+
+:class:`Telemetry` is the live bundle the runner hands back on
+``RunResult.telemetry``: the registry plus whichever optional
+components the config enabled.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+from repro.errors import ConfigError
+from repro.telemetry.flight import FlightRecorder
+from repro.telemetry.profiler import SimProfiler
+from repro.telemetry.registry import Registry
+
+__all__ = ["TelemetryConfig", "Telemetry"]
+
+
+@dataclass(frozen=True)
+class TelemetryConfig:
+    """What to record during a run (hashable; part of the memo key)."""
+
+    #: Record per-packet journeys (:mod:`repro.telemetry.flight`).
+    flight: bool = True
+    #: Packets retained by the flight recorder's ring buffer.
+    flight_capacity: int = 4096
+    #: Attribute simulated work per event kind
+    #: (:mod:`repro.telemetry.profiler`).
+    profiler: bool = True
+    #: Also time callbacks with the host clock (report-only; the wall
+    #: data never enters the registry or deterministic exports).
+    wall_clock: bool = False
+
+    def __post_init__(self) -> None:
+        if self.flight_capacity <= 0:
+            raise ConfigError("flight_capacity must be positive")
+
+
+@dataclass
+class Telemetry:
+    """The live telemetry of one run (``RunResult.telemetry``)."""
+
+    registry: Registry = field(default_factory=Registry)
+    flight: Optional[FlightRecorder] = None
+    profiler: Optional[SimProfiler] = None
+    #: Detector verdict timeline ``(time, subject, verdict, detail)``,
+    #: attached by the runner when the recovery stack ran.
+    verdicts: Tuple[object, ...] = ()
+
+    @classmethod
+    def from_config(cls, config: TelemetryConfig) -> "Telemetry":
+        """Build the bundle an enabled run records into."""
+        return cls(
+            registry=Registry(),
+            flight=(
+                FlightRecorder(config.flight_capacity)
+                if config.flight else None
+            ),
+            profiler=(
+                SimProfiler(wall_clock=config.wall_clock)
+                if config.profiler else None
+            ),
+        )
+
+    def finalize(self) -> None:
+        """Fold end-of-run aggregates (profiler counters) into the
+        registry; idempotence is the caller's problem — call once."""
+        if self.profiler is not None:
+            self.profiler.finalize(self.registry)

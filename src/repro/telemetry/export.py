@@ -1,0 +1,111 @@
+"""Exporters: registry and flight data as JSONL / Prometheus text.
+
+All exporters are pure functions from in-memory telemetry to strings,
+with deterministic ordering (families sorted by name, label values
+stringified and sorted), so two seed-matched runs export identical
+bytes.  File writing is left to callers (the report CLI, CI smoke).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Iterator, List
+
+from repro.telemetry.flight import FlightRecorder
+from repro.telemetry.registry import Histogram, Registry
+
+__all__ = [
+    "registry_to_jsonl_lines",
+    "registry_to_prometheus",
+    "flight_to_jsonl_lines",
+]
+
+
+def registry_to_jsonl_lines(registry: Registry) -> Iterator[str]:
+    """One JSON object per sample (histograms carry their buckets)."""
+    for sample in registry.collect():
+        record = {
+            "name": sample.name,
+            "kind": sample.kind,
+            "labels": {k: str(v) for k, v in sample.labels.items()},
+        }
+        metric = sample.metric
+        if isinstance(metric, Histogram):
+            record["count"] = metric.count
+            record["sum"] = metric.sum
+            record["buckets"] = [
+                {"le": le, "n": n}
+                for le, n in zip(
+                    list(metric.bounds) + ["+Inf"], metric.bucket_counts()
+                )
+            ]
+        else:
+            record["value"] = metric.value
+        yield json.dumps(record, sort_keys=True)
+
+
+def _label_str(labels: dict) -> str:
+    if not labels:
+        return ""
+    body = ",".join(
+        f'{key}="{value}"' for key, value in labels.items()
+    )
+    return "{" + body + "}"
+
+
+def registry_to_prometheus(registry: Registry) -> str:
+    """The registry in Prometheus text exposition format."""
+    lines: List[str] = []
+    for family in registry.families():
+        if family.help:
+            lines.append(f"# HELP {family.name} {family.help}")
+        lines.append(f"# TYPE {family.name} {family.kind}")
+        for label_values, metric in sorted(
+            family.items(), key=lambda kv: tuple(str(v) for v in kv[0])
+        ):
+            labels = dict(zip(family.labels, (str(v) for v in label_values)))
+            if isinstance(metric, Histogram):
+                cumulative = 0
+                for le, n in zip(
+                    list(metric.bounds) + ["+Inf"], metric.bucket_counts()
+                ):
+                    cumulative += n
+                    bucket_labels = dict(labels)
+                    bucket_labels["le"] = str(le)
+                    lines.append(
+                        f"{family.name}_bucket"
+                        f"{_label_str(bucket_labels)} {cumulative}"
+                    )
+                lines.append(
+                    f"{family.name}_sum{_label_str(labels)} {metric.sum}"
+                )
+                lines.append(
+                    f"{family.name}_count{_label_str(labels)} {metric.count}"
+                )
+            else:
+                lines.append(
+                    f"{family.name}{_label_str(labels)} {metric.value}"
+                )
+    return "\n".join(lines) + "\n"
+
+
+def flight_to_jsonl_lines(flight: FlightRecorder) -> Iterator[str]:
+    """One JSON object per retained packet journey."""
+    for journey in flight.journeys():
+        yield json.dumps(
+            {
+                "uid": journey.uid,
+                "outcome": journey.outcome,
+                "events": [
+                    {
+                        "t": event.time,
+                        "kind": event.kind,
+                        "src": event.src,
+                        "dst": event.dst,
+                        "info": event.info,
+                    }
+                    for event in journey.events
+                ],
+            },
+            sort_keys=True,
+        )

@@ -229,6 +229,33 @@ class TestRef006Exports:
         assert lint("__all__ = sorted(globals())\n") == []
 
 
+class TestRef007PrintInProtocolCode:
+    def test_flags_print_in_protocol_module(self):
+        findings = lint("print('delivered')\n")
+        assert ids(findings) == ["REF007"]
+        assert findings[0].line == 1
+
+    def test_flags_print_in_every_protocol_directory(self):
+        for directory in (
+            "sim", "net", "core", "wsan", "chaos", "recovery",
+            "kautz", "dht", "baselines",
+        ):
+            path = f"src/repro/{directory}/example.py"
+            assert ids(lint("print(1)\n", path=path)) == ["REF007"]
+
+    def test_allows_print_outside_protocol_dirs(self):
+        # The experiments/figures/report CLIs render to stdout by design.
+        assert lint("print('table')\n", path="src/repro/experiments/figures.py") == []
+        assert lint("print('x')\n", path=UTIL) == []
+
+    def test_allows_print_in_tests(self):
+        assert lint("print('debug')\n", path=TEST) == []
+
+    def test_allows_shadowed_print_method(self):
+        # Only the builtin name is flagged, not attribute calls.
+        assert lint("logger.print('x')\n") == []
+
+
 class TestScopeClassification:
     @pytest.mark.parametrize(
         "path",

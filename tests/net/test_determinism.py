@@ -13,7 +13,10 @@ Two contracts:
 * the recovery stack (:mod:`repro.recovery`) is deterministic and
   strictly opt-in: same seed + ARQ on is byte-identical run-to-run,
   and a fully disabled ``RecoveryConfig`` reproduces the
-  ``recovery=None`` flow byte-for-byte.
+  ``recovery=None`` flow byte-for-byte;
+* telemetry (:mod:`repro.telemetry`) is pure observation: enabling
+  the flight recorder and profiler changes no metric by even one ULP,
+  and a telemetry-enabled run is itself byte-identical run-to-run.
 """
 
 import pytest
@@ -21,6 +24,7 @@ import pytest
 from repro.experiments.config import ScenarioConfig
 from repro.experiments.runner import run_scenario
 from repro.recovery import RecoveryConfig
+from repro.telemetry import TelemetryConfig
 
 SMALL = ScenarioConfig(
     seed=11,
@@ -107,3 +111,46 @@ class TestRecoveryDeterminism:
         armed = run_scenario("REFER", SMALL.with_(recovery=RecoveryConfig()))
         assert armed.recovery is not None
         assert metrics_of(legacy) != metrics_of(armed)
+
+
+class TestTelemetryTransparency:
+    """Telemetry observes the run; it must never *be* the run."""
+
+    @pytest.mark.parametrize("system", ["REFER", "DaTree"])
+    def test_enabled_telemetry_is_byte_identical(self, system):
+        plain = run_scenario(system, SMALL)
+        observed = run_scenario(
+            system, SMALL.with_(telemetry=TelemetryConfig())
+        )
+        assert repr(metrics_of(plain)) == repr(metrics_of(observed))
+        assert plain.telemetry is None
+        assert observed.telemetry is not None
+
+    def test_telemetry_run_reproducible(self):
+        config = SMALL.with_(telemetry=TelemetryConfig())
+        a = run_scenario("REFER", config)
+        b = run_scenario("REFER", config)
+        assert repr(metrics_of(a)) == repr(metrics_of(b))
+        assert a.telemetry.registry.as_dict() == b.telemetry.registry.as_dict()
+        assert (
+            a.telemetry.flight.events_recorded
+            == b.telemetry.flight.events_recorded
+        )
+
+    def test_telemetry_transparent_under_chaos_and_recovery(self):
+        from repro.chaos.spec import FaultSpec
+
+        config = SMALL.with_(
+            fault_spec=(FaultSpec(kind="rotation", start=4.0),),
+            recovery=RecoveryConfig(),
+        )
+        plain = run_scenario("REFER", config)
+        observed = run_scenario(
+            "REFER", config.with_(telemetry=TelemetryConfig())
+        )
+        assert repr(metrics_of(plain)) == repr(metrics_of(observed))
+        assert plain.recovery == observed.recovery
+        # The attached verdict timeline is exactly the detector's.
+        assert len(observed.telemetry.verdicts) == (
+            plain.recovery.condemnations + plain.recovery.absolutions
+        )

@@ -51,3 +51,32 @@ class TestTraceLog:
 
     def test_unknown_category_count_is_zero(self):
         assert TraceLog().count("nothing") == 0
+
+
+class TestRegistryBridge:
+    def test_counters_live_in_a_shared_registry(self):
+        from repro.telemetry.registry import Registry
+
+        registry = Registry()
+        log = TraceLog(registry=registry)
+        log.record(1.0, "send")
+        log.record(2.0, "send")
+        assert registry.get("trace_events").value_at("send") == 2
+
+    def test_clear_zeroes_the_registry_family(self):
+        from repro.telemetry.registry import Registry
+
+        registry = Registry()
+        log = TraceLog(registry=registry)
+        log.record(1.0, "send")
+        log.clear()
+        assert registry.get("trace_events").value_at("send", default=0) == 0
+
+    def test_counts_property_deprecated_snapshot(self):
+        log = TraceLog()
+        log.record(1.0, "send")
+        with pytest.warns(DeprecationWarning):
+            snapshot = log._counts
+        assert snapshot == {"send": 1}
+        snapshot["send"] = 99  # a snapshot: not written back
+        assert log.count("send") == 1

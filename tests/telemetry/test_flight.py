@@ -1,0 +1,124 @@
+"""Flight recorder: ring bounds, span causality, drop taxonomy.
+
+The unit tests drive the recorder by hand; the integration tests run a
+real telemetry-enabled scenario and check that every retained journey
+is causally well-formed (tx before rx, spans inside the
+generate→deliver envelope, tx_nodes == the delivered hop list).
+"""
+
+import pytest
+
+from repro.errors import TelemetryError
+from repro.experiments.config import ScenarioConfig
+from repro.experiments.runner import run_scenario
+from repro.telemetry import TelemetryConfig
+from repro.telemetry.flight import DROP_REASONS, FlightRecorder
+
+
+class TestRecorderUnit:
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(TelemetryError):
+            FlightRecorder(capacity=0)
+
+    def test_ring_evicts_oldest_journey(self):
+        rec = FlightRecorder(capacity=2)
+        for uid in (1, 2, 3):
+            rec.generated(uid, 0.5, source=uid)
+        assert rec.packets() == [2, 3]
+        assert rec.journeys_started == 3
+        assert rec.journeys_evicted == 1
+        assert rec.events_recorded == 3  # lifetime, survives eviction
+        assert rec.journey(1) is None
+        assert rec.events(1) == []
+
+    def test_queued_hop_records_enqueue_then_tx(self):
+        rec = FlightRecorder()
+        rec.hop_tx(7, 1.0, src=3, dst=4, queued=True)
+        kinds = [e.kind for e in rec.events(7)]
+        assert kinds == ["enqueue", "tx"]
+        assert rec.events_recorded == 2
+
+    def test_outcomes(self):
+        rec = FlightRecorder()
+        rec.generated(1, 0.0, source=9)
+        rec.generated(2, 0.0, source=9)
+        rec.generated(3, 0.0, source=9)
+        rec.delivered(1, 1.0, destination=5, hops=(9, 5))
+        rec.dropped(2, 1.0, reason="hop-limit")
+        outcomes = {j.uid: j.outcome for j in rec.journeys()}
+        assert outcomes == {1: "delivered", 2: "dropped", 3: "in-flight"}
+
+    def test_drop_reasons_bucketed_and_unknown_default(self):
+        rec = FlightRecorder()
+        rec.dropped(1, 1.0, reason="hop-limit")
+        rec.dropped(2, 1.0, reason="hop-limit")
+        rec.dropped(3, 1.0, reason="")
+        assert rec.drop_reasons() == {"hop-limit": 2, "unknown": 1}
+
+    def test_hop_spans_pair_tx_with_rx(self):
+        rec = FlightRecorder()
+        rec.generated(1, 0.0, source=3)
+        rec.hop_tx(1, 0.1, src=3, dst=4, queued=False)
+        rec.hop_rx(1, 0.2, src=3, dst=4)
+        rec.hop_tx(1, 0.3, src=4, dst=5, queued=False)
+        # second hop never completes: no rx, so no span
+        spans = rec.journey(1).hop_spans
+        assert spans == ((0.1, 0.2, 3, 4),)
+
+
+SCENARIO = ScenarioConfig(
+    seed=11,
+    sensor_count=40,
+    area_side=220.0,
+    sim_time=12.0,
+    warmup=2.0,
+    rate_pps=5.0,
+    telemetry=TelemetryConfig(),
+)
+
+
+@pytest.fixture(scope="module")
+def flight():
+    result = run_scenario("REFER", SCENARIO)
+    recorder = result.telemetry.flight
+    assert recorder.journeys_started > 0
+    return recorder
+
+
+class TestSpanCausality:
+    """Recorded journeys from a real run must be causally consistent."""
+
+    def test_every_journey_starts_with_generate(self, flight):
+        for journey in flight.journeys():
+            assert journey.events[0].kind == "generate"
+
+    def test_times_are_monotone_within_a_journey(self, flight):
+        for journey in flight.journeys():
+            times = [e.time for e in journey.events]
+            assert times == sorted(times)
+
+    def test_delivered_tx_nodes_match_recorded_hops(self, flight):
+        delivered = [j for j in flight.journeys() if j.outcome == "delivered"]
+        assert delivered, "scenario produced no delivered journeys"
+        for journey in delivered:
+            final = journey.events[-1]
+            assert final.kind == "deliver"
+            hops = tuple(
+                int(h) for h in final.info.split(",") if h
+            )
+            assert journey.tx_nodes == hops
+
+    def test_hop_spans_nest_in_the_journey_envelope(self, flight):
+        for journey in flight.journeys():
+            start = journey.events[0].time
+            end = journey.events[-1].time
+            for t_tx, t_rx, src, dst in journey.hop_spans:
+                assert start <= t_tx <= t_rx <= end
+                assert src != dst
+
+    def test_recorded_drop_reasons_are_in_the_taxonomy(self, flight):
+        for reason in flight.drop_reasons():
+            assert reason in DROP_REASONS
+
+    def test_ring_respects_capacity(self, flight):
+        assert len(flight.packets()) <= SCENARIO.telemetry.flight_capacity

@@ -1,0 +1,120 @@
+"""Run report rendering and the three exporters.
+
+:func:`repro.telemetry.report.render` is pure (RunResult in, str out),
+so the section assertions here run against one shared scenario; the
+exporter tests assert that every emitted line survives a JSON round
+trip and that the Prometheus text keeps its cumulative-bucket
+invariants.
+"""
+
+import json
+
+import pytest
+
+from repro.experiments.config import ScenarioConfig
+from repro.experiments.runner import run_scenario
+from repro.telemetry import TelemetryConfig
+from repro.telemetry.export import (
+    flight_to_jsonl_lines,
+    registry_to_jsonl_lines,
+    registry_to_prometheus,
+)
+from repro.telemetry.report import render
+
+SCENARIO = ScenarioConfig(
+    seed=7,
+    sensor_count=40,
+    area_side=220.0,
+    sim_time=12.0,
+    warmup=2.0,
+    rate_pps=5.0,
+)
+
+
+@pytest.fixture(scope="module")
+def observed():
+    return run_scenario("REFER", SCENARIO.with_(telemetry=TelemetryConfig()))
+
+
+class TestRender:
+    def test_all_sections_present(self, observed):
+        text = render(observed)
+        for heading in (
+            "run report: REFER",
+            "delivery / QoS funnel",
+            "top drop reasons",
+            "energy breakdown",
+            "detection / repair timeline",
+            "simulated-work profile",
+        ):
+            assert heading in text
+
+    def test_funnel_counts_match_result(self, observed):
+        text = render(observed)
+        assert f"{observed.generated:>8}" in text
+        assert f"{observed.delivered_total:>8}" in text
+
+    def test_render_without_telemetry_still_works(self):
+        plain = run_scenario("REFER", SCENARIO)
+        text = render(plain)
+        assert "delivery / QoS funnel" in text
+        # Profiler data only exists on observed runs.
+        assert "simulated-work profile" not in text
+
+
+class TestRegistryJsonl:
+    def test_every_line_parses_and_is_typed(self, observed):
+        lines = list(registry_to_jsonl_lines(observed.telemetry.registry))
+        assert lines
+        kinds = set()
+        for line in lines:
+            record = json.loads(line)
+            kinds.add(record["kind"])
+            if record["kind"] == "histogram":
+                assert record["count"] == sum(
+                    b["n"] for b in record["buckets"]
+                )
+                assert record["buckets"][-1]["le"] == "+Inf"
+            else:
+                assert "value" in record
+        assert "counter" in kinds
+        assert "histogram" in kinds
+
+    def test_export_is_deterministic(self, observed):
+        registry = observed.telemetry.registry
+        assert list(registry_to_jsonl_lines(registry)) == list(
+            registry_to_jsonl_lines(registry)
+        )
+
+
+class TestPrometheus:
+    def test_buckets_are_cumulative_and_closed(self, observed):
+        text = registry_to_prometheus(observed.telemetry.registry)
+        assert "# TYPE packets_generated counter" in text
+        assert "# TYPE delivery_latency_seconds histogram" in text
+        bucket_values = [
+            int(line.rsplit(" ", 1)[1])
+            for line in text.splitlines()
+            if line.startswith("delivery_latency_seconds_bucket")
+        ]
+        assert bucket_values == sorted(bucket_values)
+        count = next(
+            int(line.rsplit(" ", 1)[1])
+            for line in text.splitlines()
+            if line.startswith("delivery_latency_seconds_count")
+        )
+        # The "+Inf" bucket closes the distribution at the total count.
+        assert bucket_values[-1] == count
+        assert 'le="+Inf"' in text
+
+
+class TestFlightJsonl:
+    def test_journeys_round_trip(self, observed):
+        lines = list(flight_to_jsonl_lines(observed.telemetry.flight))
+        assert lines
+        for line in lines:
+            journey = json.loads(line)
+            assert journey["outcome"] in {"delivered", "dropped", "in-flight"}
+            assert journey["events"][0]["kind"] == "generate"
+            for event in journey["events"]:
+                assert set(event) == {"t", "kind", "src", "dst", "info"}

@@ -51,6 +51,7 @@ def test_every_module_has_a_docstring(module_name):
         "repro.devtools",
         "repro.chaos",
         "repro.recovery",
+        "repro.telemetry",
     ],
 )
 def test_all_exports_resolve(package_name):
