@@ -15,7 +15,7 @@ from __future__ import annotations
 
 import json
 from collections import Counter
-from typing import Iterable, List, Tuple
+from typing import Dict, Iterable, List, Tuple
 
 from repro.devtools.findings import Finding
 
@@ -67,6 +67,28 @@ class Baseline:
         with open(path, "w", encoding="utf-8") as handle:
             json.dump(payload, handle, indent=2, sort_keys=True)
             handle.write("\n")
+
+    def prune(
+        self, findings: Iterable[Finding]
+    ) -> Tuple["Baseline", Dict[str, int]]:
+        """Drop entries the current findings no longer consume.
+
+        Returns ``(pruned, stale)`` where ``pruned`` grandfathers only
+        what still exists and ``stale`` maps each dropped key to how
+        many copies were dropped.  A non-empty ``stale`` means the
+        committed baseline over-grandfathers — someone fixed a
+        violation without shrinking the baseline, leaving headroom a
+        new copy of the same violation could silently slip through.
+        """
+        current = Counter(f.baseline_key() for f in findings)
+        kept: List[str] = []
+        stale: Dict[str, int] = {}
+        for key, count in sorted(self._counts.items()):
+            keep = min(count, current.get(key, 0))
+            kept.extend([key] * keep)
+            if count > keep:
+                stale[key] = count - keep
+        return Baseline(kept), stale
 
     def split(
         self, findings: Iterable[Finding]

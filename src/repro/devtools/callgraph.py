@@ -1,0 +1,183 @@
+"""Cross-module call graph and function summaries for referlint.
+
+The per-function engine in :mod:`repro.devtools.dataflow` stops at a
+call it cannot see into.  This module is the interprocedural half: it
+takes every parsed module of one lint run, flow-analyses all of them,
+and iterates the resulting :class:`FunctionSummary` table to a fixed
+point so taint crosses module boundaries — a ``util`` helper that
+returns ``time.time()`` marks every transitive caller's value as
+wall-clock, a function returning a ``set`` marks its callers' loops as
+unordered iteration.
+
+The table converges quickly in practice (helper chains are shallow);
+:data:`MAX_ROUNDS` bounds the work for pathological call cycles, whose
+members simply keep the taint already discovered — the engine's
+optimistic default means a cycle can only *under*-approximate, never
+invent a finding.
+
+The project also records every ``RngStreams.stream(...)`` call site —
+the raw material for REF009's cross-package stream-sharing and
+registry checks.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from pathlib import PurePosixPath
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.devtools.dataflow import FunctionSummary, ModuleFlow
+from repro.devtools.scopes import ModuleScopes, build_scopes
+
+#: Upper bound on summary-propagation rounds (depth of helper chains
+#: the analysis can see through).
+MAX_ROUNDS = 5
+
+
+@dataclass(frozen=True)
+class StreamUse:
+    """One ``RngStreams.stream(...)`` call site."""
+
+    path: str
+    line: int
+    col: int
+    #: The literal stream name, or ``None`` for a dynamic expression.
+    name: Optional[str]
+    #: Top-level package using the stream (``"experiments"``,
+    #: ``"chaos"``, …) — the unit stream sharing is checked across.
+    package: str
+
+
+@dataclass
+class ModuleRecord:
+    """One parsed module participating in the project analysis."""
+
+    path: str
+    tree: ast.Module
+    scopes: ModuleScopes
+    flow: Optional[ModuleFlow] = None
+
+
+def _package_of(path: str) -> str:
+    """The subsystem package a file belongs to (``repro/<pkg>/...``).
+
+    Files outside the ``repro`` library (benchmark scripts, ad-hoc
+    drivers) return ``""``: they are entry points, not subsystems, and
+    are exempt from the cross-package stream-sharing check — two
+    drivers building the same scenario legitimately name the same
+    streams.
+    """
+    parts = PurePosixPath(path.replace("\\", "/")).parts
+    for i in range(len(parts) - 1, -1, -1):
+        if parts[i] == "repro":
+            if i + 1 < len(parts) - 1:
+                return parts[i + 1]
+            return "repro"
+    return ""
+
+
+def _collect_stream_uses(record: ModuleRecord) -> List[StreamUse]:
+    uses: List[StreamUse] = []
+    package = _package_of(record.path)
+    for node in ast.walk(record.tree):
+        if not (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr == "stream"
+            and len(node.args) == 1
+        ):
+            continue
+        arg = node.args[0]
+        name: Optional[str] = None
+        if isinstance(arg, ast.Constant) and isinstance(arg.value, str):
+            name = arg.value
+        uses.append(
+            StreamUse(
+                path=record.path,
+                line=node.lineno,
+                col=node.col_offset + 1,
+                name=name,
+                package=package,
+            )
+        )
+    return uses
+
+
+class Project:
+    """Whole-tree analysis state shared by every file of one lint run."""
+
+    def __init__(self, records: Sequence[ModuleRecord]) -> None:
+        self.records: Dict[str, ModuleRecord] = {r.path: r for r in records}
+        #: Converged cross-module function summaries (qualname keyed).
+        self.summaries: Dict[str, FunctionSummary] = {}
+        #: Every stream() call site, in deterministic (path, line) order.
+        self.stream_uses: List[StreamUse] = []
+        #: How many propagation rounds convergence took (observability;
+        #: the wall-time bench tracks it).
+        self.rounds = 0
+        self._converge()
+        for path in sorted(self.records):
+            self.stream_uses.extend(
+                _collect_stream_uses(self.records[path])
+            )
+
+    # -- construction --------------------------------------------------------
+
+    @classmethod
+    def build(
+        cls, parsed: Sequence[Tuple[str, ast.Module]]
+    ) -> "Project":
+        """Build a project from ``(path, tree)`` pairs.
+
+        Files that should not contribute summaries (test files, broken
+        files) are the caller's responsibility to exclude.
+        """
+        records = [
+            ModuleRecord(path, tree, build_scopes(tree, path))
+            for path, tree in parsed
+        ]
+        return cls(records)
+
+    def _converge(self) -> None:
+        for round_no in range(1, MAX_ROUNDS + 1):
+            self.rounds = round_no
+            changed = False
+            for path in sorted(self.records):
+                record = self.records[path]
+                flow = ModuleFlow(record.tree, record.scopes, self.summaries)
+                record.flow = flow
+                for qualname, summary in flow.local_summaries().items():
+                    previous = self.summaries.get(qualname)
+                    if (
+                        previous is None
+                        or previous.returns != summary.returns
+                        or previous.wall_source != summary.wall_source
+                    ):
+                        changed = True
+                    self.summaries[qualname] = summary
+            if not changed:
+                break
+
+    # -- queries -------------------------------------------------------------
+
+    def flow_for(self, path: str) -> Optional[ModuleFlow]:
+        """The converged flow analysis of ``path``, if it participated."""
+        record = self.records.get(path)
+        return record.flow if record else None
+
+    def stream_packages(self) -> Dict[str, List[str]]:
+        """Literal stream name → sorted library packages drawing from it."""
+        packages: Dict[str, set] = {}
+        for use in self.stream_uses:
+            if use.name is not None and use.package:
+                packages.setdefault(use.name, set()).add(use.package)
+        return {
+            name: sorted(pkgs) for name, pkgs in sorted(packages.items())
+        }
+
+    def literal_stream_names(self) -> frozenset:
+        """Every stream name used as a string literal anywhere."""
+        return frozenset(
+            use.name for use in self.stream_uses if use.name is not None
+        )

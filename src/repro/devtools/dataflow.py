@@ -1,0 +1,864 @@
+"""A lightweight per-function dataflow engine with determinism taints.
+
+The node-pattern rules catch nondeterminism spelled in one expression
+(``random.random()``); the determinism rules REF008–REF012 need to see
+it *flow*: a ``set`` built on line 10 iterated into the event scheduler
+on line 40, a wall-clock value laundered through a helper in another
+module.  This engine is the shared machinery: a forward abstract
+interpretation over each function body tracking a small taint lattice
+per variable.
+
+Taint flags (a bitmask — the lattice join is ``|``):
+
+* :data:`UNORDERED` — an iterable whose iteration order is not a
+  defined function of the program (sets, frozensets, their views and
+  derived collections).  ``sorted()`` is the sanitiser.
+* :data:`SEQUENCE` — the value is a *materialised* sequence (list,
+  tuple, dict) whose element order was frozen at construction time;
+  combined with ``UNORDERED`` it means "a sequence in hash order" —
+  the damage is done even if nobody iterates it again.
+* :data:`IDENTITY` — derived from ``id()`` or the default object
+  ``hash()``: a memory address, different every process.
+* :data:`WALLCLOCK` — derived from a host-clock reading.
+* :data:`RNG` — the value *is* a ``random.Random``-like generator
+  (used to recognise draws inside unordered iteration).
+
+The engine does **not** report findings.  It records
+:class:`Observation`\\ s — taint reaching a determinism-relevant sink —
+and the rules in :mod:`repro.devtools.flowpack` decide which
+observations are violations in which files.  Branches join by taint
+union, loop bodies run twice (enough for the loop-carried taint a
+single assignment chain can build), and unresolved calls default to
+clean: the engine prefers a missed finding over a false one.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.devtools.scopes import ModuleScopes, Scope, build_scopes
+
+#: Taint lattice bits (see module docstring).
+CLEAN = 0
+UNORDERED = 1
+SEQUENCE = 2
+IDENTITY = 4
+WALLCLOCK = 8
+RNG = 16
+
+#: Bits that propagate through a function's return into its callers.
+SUMMARY_MASK = UNORDERED | SEQUENCE | IDENTITY | WALLCLOCK | RNG
+
+#: Wall-clock entry points in every spelling the codebase could import.
+#: (Shared with REF002's node-pattern check in the rule pack.)
+WALL_CLOCK_CALLS = frozenset(
+    {
+        "time.time",
+        "time.time_ns",
+        "time.monotonic",
+        "time.monotonic_ns",
+        "time.perf_counter",
+        "time.perf_counter_ns",
+        "time.process_time",
+        "datetime.datetime.now",
+        "datetime.datetime.utcnow",
+        "datetime.datetime.today",
+        "datetime.date.today",
+        "datetime.now",
+        "datetime.utcnow",
+        "datetime.today",
+        "date.today",
+    }
+)
+
+#: Methods of the scheduler interface: calling one inside unordered
+#: iteration makes the event queue's insertion order nondeterministic.
+SCHEDULE_METHODS = frozenset({"schedule", "schedule_at", "call_later", "call_at"})
+
+#: set methods whose result is another unordered collection.
+_SET_DERIVING_METHODS = frozenset(
+    {
+        "union",
+        "intersection",
+        "difference",
+        "symmetric_difference",
+        "copy",
+    }
+)
+
+#: Mapping/iterable views that inherit the receiver's (un)orderedness.
+_VIEW_METHODS = frozenset({"keys", "values", "items"})
+
+#: Order-insensitive reductions: consuming an unordered iterable with
+#: one of these is safe (and clears the iterable taints from the result).
+_ORDER_FREE_REDUCERS = frozenset({"len", "any", "all"})
+
+#: Parameter names treated as random.Random generators on entry.
+_RNG_PARAM_NAMES = frozenset({"rng", "random", "rnd"})
+
+#: random.Random draw methods (used to recognise draws on RNG values).
+RNG_DRAW_METHODS = frozenset(
+    {
+        "random",
+        "randint",
+        "randrange",
+        "uniform",
+        "choice",
+        "choices",
+        "sample",
+        "shuffle",
+        "gauss",
+        "normalvariate",
+        "expovariate",
+        "betavariate",
+        "triangular",
+        "vonmisesvariate",
+        "paretovariate",
+        "weibullvariate",
+        "lognormvariate",
+        "getrandbits",
+        "binomialvariate",
+    }
+)
+
+#: Observation kinds recorded at sinks (the rules' vocabulary).
+UNORDERED_SCHEDULE = "unordered-schedule"
+UNORDERED_DRAW = "unordered-draw"
+UNORDERED_EMIT = "unordered-emit"
+UNORDERED_REDUCTION = "unordered-reduction"
+IDENTITY_SORT_KEY = "identity-sort-key"
+IDENTITY_DICT_KEY = "identity-dict-key"
+IDENTITY_COMPARE = "identity-compare"
+WALLCLOCK_HELPER = "wallclock-helper"
+
+
+@dataclass(frozen=True)
+class Observation:
+    """Taint arriving at a determinism-relevant sink."""
+
+    kind: str
+    #: The AST node the finding should anchor to.
+    node: ast.AST
+    #: Human fragment naming the source/callee involved.
+    detail: str = ""
+
+
+@dataclass
+class FunctionSummary:
+    """What a function's return value carries, for interprocedural use."""
+
+    returns: int = CLEAN
+    #: Dotted wall-clock call the return taint traces back to (for
+    #: actionable REF012 messages).
+    wall_source: str = ""
+
+    def merge(self, taint: int, wall_source: str = "") -> None:
+        self.returns |= taint & SUMMARY_MASK
+        if wall_source and not self.wall_source:
+            self.wall_source = wall_source
+
+
+class FlowResult:
+    """Per-function analysis output: observations plus the summary."""
+
+    def __init__(self, qualname: str) -> None:
+        self.qualname = qualname
+        self.summary = FunctionSummary()
+        #: Keyed by (kind, node identity) so the two-pass loop body
+        #: analysis cannot record the same sink twice.
+        self._observations: Dict[Tuple[str, int], Observation] = {}
+
+    @property
+    def observations(self) -> List[Observation]:
+        return list(self._observations.values())
+
+    def observe(self, kind: str, node: ast.AST, detail: str = "") -> None:
+        self._observations.setdefault(
+            (kind, id(node)), Observation(kind, node, detail)
+        )
+
+
+class ModuleFlow:
+    """Dataflow results for every function (and the body) of a module."""
+
+    def __init__(
+        self,
+        tree: ast.Module,
+        scopes: ModuleScopes,
+        summaries: Optional[Dict[str, FunctionSummary]] = None,
+    ) -> None:
+        self.tree = tree
+        self.scopes = scopes
+        #: Cross-module function summaries (qualname → summary); taken
+        #: from the project call graph when one is available.
+        self.summaries = summaries if summaries is not None else {}
+        #: Summaries of *this* module's functions, filled in as they are
+        #: analysed (source order), so intra-module helper taint
+        #: propagates even without a project pass.  Kept separate from
+        #: ``summaries`` — the project owns that dict and compares
+        #: against it to detect convergence.
+        self._local_summaries: Dict[str, FunctionSummary] = {}
+        #: FlowResult per analysed function node (plus the module body).
+        self.results: Dict[ast.AST, FlowResult] = {}
+        self._analyse()
+
+    # -- public --------------------------------------------------------------
+
+    def observations(self) -> List[Observation]:
+        """Every observation in the module, in source order."""
+        all_obs = [
+            obs
+            for result in self.results.values()
+            for obs in result.observations
+        ]
+        return sorted(
+            all_obs, key=lambda o: (o.node.lineno, o.node.col_offset, o.kind)
+        )
+
+    def local_summaries(self) -> Dict[str, FunctionSummary]:
+        """Summaries of the functions defined in this module."""
+        return {
+            result.qualname: result.summary
+            for node, result in self.results.items()
+            if not isinstance(node, ast.Module)
+        }
+
+    def summary_for(self, qualname: str) -> Optional[FunctionSummary]:
+        """The summary for ``qualname`` — this module's own first."""
+        local = self._local_summaries.get(qualname)
+        if local is not None:
+            return local
+        return self.summaries.get(qualname)
+
+    # -- internals -----------------------------------------------------------
+
+    def _analyse(self) -> None:
+        module_scope = self.scopes.module
+        body_result = FlowResult(self.scopes.module_name)
+        self.results[self.tree] = body_result
+        _FunctionFlow(self, self.tree.body, module_scope, body_result).run()
+        # Source order, so helpers defined above their callers feed the
+        # callers' analysis in the same pass (the project's fixpoint
+        # rounds catch backward and cross-module references).
+        functions = sorted(
+            (
+                node
+                for node in ast.walk(self.tree)
+                if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+            ),
+            key=lambda node: (node.lineno, node.col_offset),
+        )
+        for node in functions:
+            scope = self.scopes.scope_of(node)
+            if scope is None:
+                continue
+            result = FlowResult(scope.qualname)
+            self.results[node] = result
+            _FunctionFlow(self, node.body, scope, result, node).run()
+            self._local_summaries[result.qualname] = result.summary
+
+
+class _FunctionFlow:
+    """Forward taint interpretation over one function body."""
+
+    def __init__(
+        self,
+        module: ModuleFlow,
+        body: List[ast.stmt],
+        scope: Scope,
+        result: FlowResult,
+        fn_node: Optional[ast.AST] = None,
+    ) -> None:
+        self.module = module
+        self.body = body
+        self.scope = scope
+        self.result = result
+        self.env: Dict[str, int] = {}
+        #: Wall-clock provenance per variable, for REF012 messages.
+        self.wall_src: Dict[str, str] = {}
+        #: Stack of ``for`` loops currently iterating unordered values.
+        self._unordered_loops: List[ast.AST] = []
+        if fn_node is not None:
+            args = fn_node.args
+            params = (
+                list(getattr(args, "posonlyargs", []))
+                + list(args.args)
+                + list(args.kwonlyargs)
+            )
+            for param in params:
+                name = param.arg
+                if name in _RNG_PARAM_NAMES or name.endswith("_rng"):
+                    self.env[name] = RNG
+
+    def run(self) -> None:
+        self._exec_block(self.body)
+
+    # -- statement transfer --------------------------------------------------
+
+    def _exec_block(self, stmts: Iterable[ast.stmt]) -> None:
+        for stmt in stmts:
+            self._exec(stmt)
+
+    def _exec(self, stmt: ast.stmt) -> None:
+        if isinstance(stmt, (ast.Assign, ast.AnnAssign, ast.AugAssign)):
+            self._exec_assign(stmt)
+        elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+            self._exec_for(stmt)
+        elif isinstance(stmt, ast.While):
+            self._eval(stmt.test)
+            self._exec_block(stmt.body)
+            self._exec_block(stmt.body)
+            self._exec_block(stmt.orelse)
+        elif isinstance(stmt, ast.If):
+            self._eval(stmt.test)
+            self._exec_branches([stmt.body, stmt.orelse])
+        elif isinstance(stmt, ast.Try):
+            branches = [stmt.body + stmt.orelse]
+            branches.extend(handler.body for handler in stmt.handlers)
+            self._exec_branches(branches)
+            self._exec_block(stmt.finalbody)
+        elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+            for item in stmt.items:
+                taint = self._eval(item.context_expr)
+                if item.optional_vars is not None:
+                    self._assign_target(item.optional_vars, taint)
+            self._exec_block(stmt.body)
+        elif isinstance(stmt, ast.Return):
+            self._exec_return(stmt, stmt.value)
+        elif isinstance(stmt, ast.Expr):
+            value = stmt.value
+            if isinstance(value, (ast.Yield, ast.YieldFrom)):
+                self._exec_return(stmt, value.value)
+            else:
+                self._eval(value)
+        elif isinstance(stmt, (ast.Raise, ast.Assert)):
+            for child in ast.iter_child_nodes(stmt):
+                if isinstance(child, ast.expr):
+                    self._eval(child)
+        elif isinstance(stmt, ast.Delete):
+            for target in stmt.targets:
+                if isinstance(target, ast.Name):
+                    self.env.pop(target.id, None)
+        elif isinstance(
+            stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+        ):
+            pass  # analysed separately; closures stay out of scope
+        # Import/Global/Pass/Break/Continue carry no taint.
+
+    def _exec_assign(self, stmt: ast.stmt) -> None:
+        if isinstance(stmt, ast.Assign):
+            taint = self._eval(stmt.value)
+            src = self._wall_source_of(stmt.value)
+            for target in stmt.targets:
+                self._assign_target(target, taint, src)
+        elif isinstance(stmt, ast.AnnAssign):
+            if stmt.value is None:
+                return
+            taint = self._eval(stmt.value)
+            self._assign_target(
+                stmt.target, taint, self._wall_source_of(stmt.value)
+            )
+        else:  # AugAssign
+            value_taint = self._eval(stmt.value)
+            target_taint = self._read_target(stmt.target)
+            if isinstance(stmt.op, ast.Add) and self._unordered_loops:
+                self._observe_accumulation(stmt, value_taint)
+            self._assign_target(stmt.target, value_taint | target_taint)
+
+    def _observe_accumulation(self, stmt: ast.AugAssign, value_taint: int) -> None:
+        """``acc += expr`` inside unordered iteration: order-sensitive?"""
+        value = stmt.value
+        if isinstance(value, ast.Constant) and isinstance(value.value, int):
+            return  # counting is order-free
+        if value_taint & SEQUENCE or isinstance(
+            value, (ast.List, ast.ListComp, ast.Tuple)
+        ):
+            # Concatenation: the target becomes a hash-ordered sequence;
+            # flagged where it is emitted, not here.
+            self._assign_target(stmt.target, UNORDERED | SEQUENCE)
+            return
+        if isinstance(value, ast.Call):
+            qual = self._qual(value.func)
+            if qual in ("len", "int", "bool"):
+                return
+        self.result.observe(
+            UNORDERED_REDUCTION,
+            stmt,
+            "accumulation inside iteration over an unordered value",
+        )
+
+    def _exec_return(
+        self, stmt: ast.stmt, value: Optional[ast.expr]
+    ) -> None:
+        if value is None:
+            return
+        taint = self._eval(value)
+        if (taint & UNORDERED) and (taint & SEQUENCE):
+            self.result.observe(
+                UNORDERED_EMIT,
+                stmt,
+                "sequence materialised in unordered iteration order",
+            )
+        self.result.summary.merge(taint, self._wall_source_of(value))
+
+    def _exec_for(self, stmt) -> None:
+        iter_taint = self._eval(stmt.iter)
+        element = iter_taint & ~(UNORDERED | SEQUENCE)
+        self._assign_target(stmt.target, element)
+        unordered = bool(iter_taint & UNORDERED)
+        if unordered:
+            self._unordered_loops.append(stmt)
+        try:
+            self._exec_block(stmt.body)
+            self._exec_block(stmt.body)
+        finally:
+            if unordered:
+                self._unordered_loops.pop()
+        self._exec_block(stmt.orelse)
+
+    def _exec_branches(self, branches: List[List[ast.stmt]]) -> None:
+        base = dict(self.env)
+        merged: Dict[str, int] = {}
+        for branch in branches:
+            self.env = dict(base)
+            self._exec_block(branch)
+            for name, taint in self.env.items():
+                merged[name] = merged.get(name, CLEAN) | taint
+        self.env = merged
+
+    # -- assignment targets --------------------------------------------------
+
+    def _target_key(self, target: ast.expr) -> Optional[str]:
+        if isinstance(target, ast.Name):
+            return target.id
+        if (
+            isinstance(target, ast.Attribute)
+            and isinstance(target.value, ast.Name)
+            and target.value.id == "self"
+        ):
+            return f"self.{target.attr}"
+        return None
+
+    def _read_target(self, target: ast.expr) -> int:
+        key = self._target_key(target)
+        if key is not None:
+            return self.env.get(key, CLEAN)
+        return self._eval(target)
+
+    def _assign_target(
+        self, target: ast.expr, taint: int, wall_source: str = ""
+    ) -> None:
+        if isinstance(target, (ast.Tuple, ast.List)):
+            for elt in target.elts:
+                self._assign_target(
+                    elt, taint & ~(UNORDERED | SEQUENCE), wall_source
+                )
+            return
+        if isinstance(target, ast.Starred):
+            self._assign_target(target.value, taint, wall_source)
+            return
+        if isinstance(target, ast.Subscript):
+            self._eval(target.value)
+            key_taint = self._eval(target.slice)
+            if key_taint & IDENTITY:
+                self.result.observe(
+                    IDENTITY_DICT_KEY,
+                    target,
+                    "id()/object-hash value used as a container key",
+                )
+            return
+        key = self._target_key(target)
+        if key is not None:
+            self.env[key] = taint
+            if wall_source:
+                self.wall_src[key] = wall_source
+            else:
+                self.wall_src.pop(key, None)
+
+    def _wall_source_of(self, expr: ast.expr) -> str:
+        if isinstance(expr, ast.Call):
+            qual = self._qual(expr.func)
+            if qual in WALL_CLOCK_CALLS:
+                return qual
+            if qual is not None:
+                summary = self.module.summary_for(qual)
+                if summary is not None and summary.wall_source:
+                    return summary.wall_source
+        if isinstance(expr, ast.Name):
+            return self.wall_src.get(expr.id, "")
+        return ""
+
+    # -- expression evaluation ----------------------------------------------
+
+    def _qual(self, expr: ast.expr) -> Optional[str]:
+        return self.module.scopes.qualified_name(expr, self.scope)
+
+    def _eval(self, expr: Optional[ast.expr]) -> int:
+        if expr is None:
+            return CLEAN
+        method = getattr(
+            self, f"_eval_{type(expr).__name__}", None
+        )
+        if method is not None:
+            return method(expr)
+        # Default: union of child expression taints.
+        taint = CLEAN
+        for child in ast.iter_child_nodes(expr):
+            if isinstance(child, ast.expr):
+                taint |= self._eval(child)
+        return taint
+
+    def _eval_Constant(self, expr: ast.Constant) -> int:
+        return CLEAN
+
+    def _eval_Name(self, expr: ast.Name) -> int:
+        return self.env.get(expr.id, CLEAN)
+
+    def _eval_Attribute(self, expr: ast.Attribute) -> int:
+        if isinstance(expr.value, ast.Name) and expr.value.id == "self":
+            return self.env.get(f"self.{expr.attr}", CLEAN)
+        self._eval(expr.value)
+        return CLEAN
+
+    def _eval_Set(self, expr: ast.Set) -> int:
+        taint = UNORDERED
+        for elt in expr.elts:
+            taint |= self._eval(elt) & ~SEQUENCE
+        return taint
+
+    def _eval_SetComp(self, expr: ast.SetComp) -> int:
+        self._eval_comprehension(expr, [expr.elt])
+        return UNORDERED
+
+    def _eval_ListComp(self, expr: ast.ListComp) -> int:
+        unordered = self._eval_comprehension(expr, [expr.elt])
+        return (UNORDERED | SEQUENCE) if unordered else CLEAN
+
+    def _eval_GeneratorExp(self, expr: ast.GeneratorExp) -> int:
+        unordered = self._eval_comprehension(expr, [expr.elt])
+        return UNORDERED if unordered else CLEAN
+
+    def _eval_DictComp(self, expr: ast.DictComp) -> int:
+        unordered = self._eval_comprehension(expr, [expr.key, expr.value])
+        key_taint = self._eval(expr.key)
+        if key_taint & IDENTITY:
+            self.result.observe(
+                IDENTITY_DICT_KEY,
+                expr.key,
+                "id()/object-hash value used as a dict key",
+            )
+        return (UNORDERED | SEQUENCE) if unordered else CLEAN
+
+    def _eval_comprehension(self, expr, elements: List[ast.expr]) -> bool:
+        """Evaluate a comprehension; True if any generator is unordered."""
+        unordered = False
+        for gen in expr.generators:
+            iter_taint = self._eval(gen.iter)
+            element = iter_taint & ~(UNORDERED | SEQUENCE)
+            self._assign_target(gen.target, element)
+            if iter_taint & UNORDERED:
+                unordered = True
+            for cond in gen.ifs:
+                self._eval(cond)
+        if unordered:
+            self._unordered_loops.append(expr)
+        try:
+            for element_expr in elements:
+                self._eval(element_expr)
+        finally:
+            if unordered:
+                self._unordered_loops.pop()
+        return unordered
+
+    def _eval_Dict(self, expr: ast.Dict) -> int:
+        taint = CLEAN
+        for key in expr.keys:
+            if key is None:
+                continue
+            key_taint = self._eval(key)
+            if key_taint & IDENTITY:
+                self.result.observe(
+                    IDENTITY_DICT_KEY,
+                    key,
+                    "id()/object-hash value used as a dict key",
+                )
+            taint |= key_taint & ~SEQUENCE
+        for value in expr.values:
+            taint |= self._eval(value) & ~SEQUENCE
+        return taint
+
+    def _eval_List(self, expr: ast.List) -> int:
+        taint = CLEAN
+        for elt in expr.elts:
+            taint |= self._eval(elt) & ~SEQUENCE
+        return taint
+
+    _eval_Tuple = _eval_List
+
+    def _eval_BoolOp(self, expr: ast.BoolOp) -> int:
+        taint = CLEAN
+        for value in expr.values:
+            taint |= self._eval(value)
+        return taint
+
+    def _eval_BinOp(self, expr: ast.BinOp) -> int:
+        return self._eval(expr.left) | self._eval(expr.right)
+
+    def _eval_UnaryOp(self, expr: ast.UnaryOp) -> int:
+        return self._eval(expr.operand)
+
+    def _eval_IfExp(self, expr: ast.IfExp) -> int:
+        self._eval(expr.test)
+        return self._eval(expr.body) | self._eval(expr.orelse)
+
+    def _eval_Compare(self, expr: ast.Compare) -> int:
+        operands = [expr.left] + list(expr.comparators)
+        identity = False
+        for operand in operands:
+            if self._eval(operand) & IDENTITY:
+                identity = True
+        ordering = any(
+            isinstance(op, (ast.Lt, ast.LtE, ast.Gt, ast.GtE, ast.Eq, ast.NotEq))
+            for op in expr.ops
+        )
+        if identity and ordering:
+            self.result.observe(
+                IDENTITY_COMPARE,
+                expr,
+                "comparison on id()/object-hash values",
+            )
+        return CLEAN
+
+    def _eval_Subscript(self, expr: ast.Subscript) -> int:
+        base = self._eval(expr.value)
+        key_taint = self._eval(expr.slice)
+        if key_taint & IDENTITY:
+            self.result.observe(
+                IDENTITY_DICT_KEY,
+                expr,
+                "id()/object-hash value used as a container key",
+            )
+        if isinstance(expr.slice, ast.Slice):
+            return base
+        return base & ~(UNORDERED | SEQUENCE)
+
+    def _eval_Starred(self, expr: ast.Starred) -> int:
+        return self._eval(expr.value)
+
+    def _eval_JoinedStr(self, expr: ast.JoinedStr) -> int:
+        taint = CLEAN
+        for value in expr.values:
+            taint |= self._eval(value) & ~SEQUENCE
+        return taint
+
+    def _eval_FormattedValue(self, expr: ast.FormattedValue) -> int:
+        return self._eval(expr.value)
+
+    def _eval_Lambda(self, expr: ast.Lambda) -> int:
+        return CLEAN  # bodies are evaluated where the lambda is applied
+
+    def _eval_Await(self, expr) -> int:
+        return self._eval(expr.value)
+
+    def _eval_NamedExpr(self, expr) -> int:
+        taint = self._eval(expr.value)
+        self._assign_target(expr.target, taint)
+        return taint
+
+    # -- calls ---------------------------------------------------------------
+
+    def _eval_Call(self, expr: ast.Call) -> int:
+        arg_taints = [self._eval(arg) for arg in expr.args]
+        kw_taints = {
+            kw.arg: self._eval(kw.value)
+            for kw in expr.keywords
+            if kw.arg is not None
+        }
+        for kw in expr.keywords:
+            if kw.arg is None:
+                self._eval(kw.value)
+        first = arg_taints[0] if arg_taints else CLEAN
+        qual = self._qual(expr.func)
+
+        if qual is not None:
+            builtin = self._eval_known_call(expr, qual, first, arg_taints)
+            if builtin is not None:
+                return builtin
+
+        if isinstance(expr.func, ast.Attribute):
+            return self._eval_method_call(expr, first)
+        return CLEAN
+
+    def _eval_known_call(
+        self,
+        expr: ast.Call,
+        qual: str,
+        first: int,
+        arg_taints: List[int],
+    ) -> Optional[int]:
+        """Transfer function for resolved / builtin calls (None = unknown)."""
+        if qual in ("set", "frozenset"):
+            return UNORDERED | (first & IDENTITY)
+        if qual in ("list", "tuple"):
+            if first & UNORDERED:
+                return first | SEQUENCE
+            return first
+        if qual in ("dict", "dict.fromkeys", "collections.OrderedDict"):
+            if first & UNORDERED:
+                return first | SEQUENCE
+            return first
+        if qual in ("iter", "enumerate", "reversed", "zip"):
+            taint = CLEAN
+            for arg_taint in arg_taints:
+                taint |= arg_taint
+            return taint & ~SEQUENCE
+        if qual == "sorted":
+            self._check_sort_key(expr, first)
+            return first & ~(UNORDERED | SEQUENCE)
+        if qual in ("min", "max"):
+            self._check_sort_key(expr, first)
+            return first & ~(UNORDERED | SEQUENCE)
+        if qual in _ORDER_FREE_REDUCERS:
+            return first & ~(UNORDERED | SEQUENCE)
+        if qual == "sum":
+            if first & (UNORDERED | IDENTITY):
+                self.result.observe(
+                    UNORDERED_REDUCTION,
+                    expr,
+                    "sum() over an unordered or taint-carrying iterable",
+                )
+            return first & ~(UNORDERED | SEQUENCE)
+        if qual == "math.fsum":
+            # Exact regardless of order: the sanctioned reduction.
+            return first & ~(UNORDERED | SEQUENCE)
+        if qual == "id":
+            return IDENTITY
+        if qual == "hash":
+            arg = expr.args[0] if expr.args else None
+            if isinstance(arg, ast.Constant):
+                return CLEAN
+            return IDENTITY
+        if qual in WALL_CLOCK_CALLS:
+            return WALLCLOCK
+        if qual == "random.Random":
+            return RNG
+        summary = self.module.summary_for(qual)
+        if summary is not None:
+            taint = summary.returns
+            if taint & WALLCLOCK:
+                self.result.observe(
+                    WALLCLOCK_HELPER,
+                    expr,
+                    summary.wall_source or qual,
+                )
+            return taint
+        return None
+
+    def _eval_method_call(self, expr: ast.Call, first: int) -> int:
+        func = expr.func
+        assert isinstance(func, ast.Attribute)
+        receiver = self._eval(func.value)
+        name = func.attr
+
+        if name == "stream":
+            # RngStreams.stream(...) hands out a generator.
+            return RNG
+        if receiver & RNG and name in RNG_DRAW_METHODS:
+            if self._unordered_loops:
+                self.result.observe(
+                    UNORDERED_DRAW,
+                    expr,
+                    f"rng.{name}() drawn inside iteration over an "
+                    "unordered value",
+                )
+            return CLEAN
+        if name in SCHEDULE_METHODS and self._unordered_loops:
+            self.result.observe(
+                UNORDERED_SCHEDULE,
+                expr,
+                f".{name}() called inside iteration over an unordered value",
+            )
+            return CLEAN
+        if name in _SET_DERIVING_METHODS and receiver & UNORDERED:
+            taint = receiver
+            for arg in expr.args:
+                taint |= self._eval(arg) & ~SEQUENCE
+            return taint
+        if name in _VIEW_METHODS:
+            return receiver & ~SEQUENCE
+        if name in ("append", "extend", "insert", "add"):
+            arg_taint = first
+            if name == "add" and arg_taint & IDENTITY:
+                self.result.observe(
+                    IDENTITY_DICT_KEY,
+                    expr,
+                    "id()/object-hash value added to a set",
+                )
+            if name in ("append", "extend") and self._unordered_loops:
+                key = self._target_key(func.value)
+                if key is not None:
+                    self.env[key] = (
+                        self.env.get(key, CLEAN) | UNORDERED | SEQUENCE
+                    )
+            return CLEAN
+        if name == "sort":
+            self._check_sort_key(expr, receiver)
+            key = self._target_key(func.value)
+            if key is not None:
+                self.env[key] = self.env.get(key, CLEAN) & ~(
+                    UNORDERED | SEQUENCE
+                )
+            return CLEAN
+        if name in ("pop", "popitem"):
+            return receiver & ~(UNORDERED | SEQUENCE)
+        if name == "get":
+            return receiver & ~(UNORDERED | SEQUENCE)
+        if name == "join":
+            return first & ~SEQUENCE
+        return CLEAN
+
+    def _check_sort_key(self, expr: ast.Call, iterable_taint: int) -> None:
+        """Flag identity-based orderings in sorted()/min()/max()/.sort()."""
+        if iterable_taint & IDENTITY:
+            self.result.observe(
+                IDENTITY_SORT_KEY,
+                expr,
+                "ordering values derived from id()/object-hash",
+            )
+            return
+        for kw in expr.keywords:
+            if kw.arg != "key":
+                continue
+            key_fn = kw.value
+            if isinstance(key_fn, ast.Name) and key_fn.id in ("id", "hash"):
+                self.result.observe(
+                    IDENTITY_SORT_KEY,
+                    expr,
+                    f"key={key_fn.id} orders by memory address",
+                )
+            elif isinstance(key_fn, ast.Lambda):
+                saved = dict(self.env)
+                for param in key_fn.args.args:
+                    self.env[param.arg] = CLEAN
+                body_taint = self._eval(key_fn.body)
+                self.env = saved
+                if body_taint & IDENTITY:
+                    self.result.observe(
+                        IDENTITY_SORT_KEY,
+                        expr,
+                        "sort key derived from id()/object-hash",
+                    )
+
+
+def analyse_module(
+    tree: ast.Module,
+    path: str,
+    summaries: Optional[Dict[str, FunctionSummary]] = None,
+    scopes: Optional[ModuleScopes] = None,
+) -> ModuleFlow:
+    """Convenience entry point: scope-resolve and flow-analyse one module."""
+    if scopes is None:
+        scopes = build_scopes(tree, path)
+    return ModuleFlow(tree, scopes, summaries)

@@ -2,8 +2,15 @@
 
 Each file is read and parsed **once**; every AST node is dispatched to
 every registered rule that declared interest in its type, then each
-rule gets a whole-module ``finish`` pass.  The driver also implements
-inline suppressions::
+rule gets a whole-module ``finish`` pass.  When whole directories are
+linted, the driver first runs the *project pass*: all parsed modules
+are handed to :class:`repro.devtools.callgraph.Project`, which
+flow-analyses them and converges cross-module function summaries, so
+scope- and dataflow-aware rules (REF008–REF012) see taint that crosses
+file boundaries.  Single-file entry points still work — the flow rules
+simply degrade to intraprocedural precision.
+
+The driver also implements inline suppressions::
 
     risky_call()  # referlint: disable=REF001
     # referlint: disable-next-line=REF002,REF004
@@ -11,9 +18,11 @@ inline suppressions::
     anything_at_all()  # referlint: disable
 
 A bare ``disable`` (no ``=RULES``) suppresses every rule on that line.
-Suppression comments are honoured per physical line of the *reported*
-finding, so multi-line statements suppress at the line the finding is
-anchored to.
+Directives are read from real comment tokens only (a ``# referlint:``
+inside an f-string or other literal is data, not a directive), and
+``disable-next-line`` covers the whole statement that starts on the
+next line — findings anchored to the later physical lines of a
+multi-line call are suppressed too.
 
 Files that fail to parse produce a single :data:`PARSE_ERROR` finding
 instead of crashing the run — a broken file must fail CI, not the
@@ -23,12 +32,15 @@ linter.
 from __future__ import annotations
 
 import ast
+import io
 import os
 import re
-from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Type
+import tokenize
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple, Type
 
+from repro.devtools.callgraph import Project
 from repro.devtools.findings import Finding
-from repro.devtools.rules import Rule, RuleContext, all_rules
+from repro.devtools.rules import Rule, RuleContext, all_rules, is_test_path
 
 #: Pseudo-rule id for files the driver could not parse.
 PARSE_ERROR = "REF000"
@@ -60,21 +72,61 @@ def iter_python_files(paths: Sequence[str]) -> Iterator[str]:
             yield path
 
 
-def suppressions_by_line(source: str) -> Dict[int, Set[str]]:
-    """Map 1-based line number → set of suppressed rule ids (or ``*``)."""
+def _comment_lines(source: str) -> List[Tuple[int, str]]:
+    """``(line, text)`` for every real comment token in ``source``.
+
+    Tokenising (rather than regex-scanning raw lines) is what keeps a
+    ``# referlint:`` spelled inside an f-string or docstring from being
+    honoured as a directive.  Sources that cannot be tokenised fall
+    back to raw lines — they produce a parse-error finding anyway.
+    """
+    try:
+        return [
+            (token.start[0], token.string)
+            for token in tokenize.generate_tokens(
+                io.StringIO(source).readline
+            )
+            if token.type == tokenize.COMMENT
+        ]
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        return list(enumerate(source.splitlines(), start=1))
+
+
+def suppressions_by_line(
+    source: str, tree: Optional[ast.Module] = None
+) -> Dict[int, Set[str]]:
+    """Map 1-based line number → set of suppressed rule ids (or ``*``).
+
+    With ``tree`` provided, ``disable-next-line`` directives expand
+    over the whole statement beginning on the following line, so a
+    finding anchored inside a multi-line call is still suppressed.
+    """
     table: Dict[int, Set[str]] = {}
-    for lineno, line in enumerate(source.splitlines(), start=1):
-        match = _SUPPRESS_RE.search(line)
-        if match is None:
-            continue
-        directive, rule_list = match.groups()
-        target = lineno + 1 if directive.endswith("next-line") else lineno
-        rules = (
-            {r.strip().upper() for r in rule_list.split(",") if r.strip()}
-            if rule_list
-            else {_ALL}
-        )
-        table.setdefault(target, set()).update(rules)
+    next_line: Dict[int, Set[str]] = {}
+    for lineno, text in _comment_lines(source):
+        for match in _SUPPRESS_RE.finditer(text):
+            directive, rule_list = match.groups()
+            rules = (
+                {r.strip().upper() for r in rule_list.split(",") if r.strip()}
+                if rule_list
+                else {_ALL}
+            )
+            if directive.endswith("next-line"):
+                next_line.setdefault(lineno + 1, set()).update(rules)
+            else:
+                table.setdefault(lineno, set()).update(rules)
+    if next_line:
+        spans: Dict[int, int] = {}
+        if tree is not None:
+            for node in ast.walk(tree):
+                if isinstance(node, ast.stmt):
+                    end = getattr(node, "end_lineno", None) or node.lineno
+                    spans[node.lineno] = max(
+                        spans.get(node.lineno, node.lineno), end
+                    )
+        for target, rules in next_line.items():
+            for line in range(target, spans.get(target, target) + 1):
+                table.setdefault(line, set()).update(rules)
     return table
 
 
@@ -85,29 +137,24 @@ def _is_suppressed(finding: Finding, table: Dict[int, Set[str]]) -> bool:
     return _ALL in suppressed or finding.rule_id in suppressed
 
 
-def lint_source(
-    source: str,
-    path: str,
-    rules: Optional[Sequence[Rule]] = None,
+def _parse_error_finding(path: str, exc: SyntaxError) -> Finding:
+    return Finding(
+        path=path,
+        line=exc.lineno or 1,
+        col=(exc.offset or 1),
+        rule_id=PARSE_ERROR,
+        message=f"file does not parse: {exc.msg}",
+    )
+
+
+def _lint_tree(
+    tree: ast.Module,
+    ctx: RuleContext,
+    rules: Sequence[Rule],
 ) -> List[Finding]:
-    """Lint one in-memory module; ``path`` scopes path-sensitive rules."""
-    ctx = RuleContext(path, source)
-    if rules is None:
-        rules = all_rules()
+    """Run ``rules`` over an already-parsed module."""
+    ctx.tree = tree
     active = [rule for rule in rules if rule.applies_to(ctx)]
-    try:
-        tree = ast.parse(source)
-    except SyntaxError as exc:
-        ctx.findings.append(
-            Finding(
-                path=ctx.path,
-                line=exc.lineno or 1,
-                col=(exc.offset or 1),
-                rule_id=PARSE_ERROR,
-                message=f"file does not parse: {exc.msg}",
-            )
-        )
-        return ctx.findings
     dispatch: Dict[Type[ast.AST], List[Rule]] = {}
     for rule in active:
         for node_type in rule.node_types:
@@ -118,28 +165,48 @@ def lint_source(
                 rule.visit(node, ctx)
     for rule in active:
         rule.finish(tree, ctx)
-    table = suppressions_by_line(source)
+    table = suppressions_by_line(ctx.source, tree)
     return sorted(f for f in ctx.findings if not _is_suppressed(f, table))
 
 
-def lint_file(path: str, rules: Optional[Sequence[Rule]] = None) -> List[Finding]:
+def lint_source(
+    source: str,
+    path: str,
+    rules: Optional[Sequence[Rule]] = None,
+    project: Optional[Project] = None,
+) -> List[Finding]:
+    """Lint one in-memory module; ``path`` scopes path-sensitive rules."""
+    ctx = RuleContext(path, source, project=project)
+    if rules is None:
+        rules = all_rules()
+    try:
+        tree = ast.parse(source)
+    except SyntaxError as exc:
+        return [_parse_error_finding(ctx.path, exc)]
+    return _lint_tree(tree, ctx, rules)
+
+
+def lint_file(
+    path: str,
+    rules: Optional[Sequence[Rule]] = None,
+    project: Optional[Project] = None,
+) -> List[Finding]:
     """Lint one file on disk (read errors become findings, not crashes)."""
     display = os.path.relpath(path) if not os.path.isabs(path) else path
     try:
         with open(path, "r", encoding="utf-8") as handle:
             source = handle.read()
     except (OSError, UnicodeDecodeError) as exc:
-        ctx = RuleContext(display, "")
         return [
             Finding(
-                path=ctx.path,
+                path=RuleContext(display, "").path,
                 line=1,
                 col=1,
                 rule_id=PARSE_ERROR,
                 message=f"file is unreadable: {exc}",
             )
         ]
-    return lint_source(source, display, rules)
+    return lint_source(source, display, rules, project=project)
 
 
 def lint_paths(
@@ -148,13 +215,50 @@ def lint_paths(
 ) -> List[Finding]:
     """Lint every ``.py`` file under ``paths``; findings sorted for output.
 
+    Each file is read and parsed exactly once: the parsed library
+    modules feed the interprocedural project pass (test files do not
+    contribute summaries — they are linted under relaxed rules and may
+    deliberately contain violations, e.g. the analyzer's own fixture
+    corpus), then every tree is linted against the converged project.
     Rule instances are shared across files (rules are stateless between
-    files by construction — all per-file state lives in the context), so
-    the registry is consulted once per run, not once per file.
+    files by construction — all per-file state lives in the context),
+    so the registry is consulted once per run, not once per file.
     """
     if rules is None:
         rules = all_rules()
     findings: List[Finding] = []
+    loaded: List[Tuple[str, str, ast.Module]] = []
     for path in iter_python_files(list(paths)):
-        findings.extend(lint_file(path, rules))
+        display = os.path.relpath(path) if not os.path.isabs(path) else path
+        display = RuleContext(display, "").path
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                source = handle.read()
+        except (OSError, UnicodeDecodeError) as exc:
+            findings.append(
+                Finding(
+                    path=display,
+                    line=1,
+                    col=1,
+                    rule_id=PARSE_ERROR,
+                    message=f"file is unreadable: {exc}",
+                )
+            )
+            continue
+        try:
+            tree = ast.parse(source)
+        except SyntaxError as exc:
+            findings.append(_parse_error_finding(display, exc))
+            continue
+        loaded.append((display, source, tree))
+    project = Project.build(
+        [
+            (display, tree)
+            for display, _, tree in loaded
+            if not is_test_path(display)
+        ]
+    )
+    for display, source, tree in loaded:
+        ctx = RuleContext(display, source, project=project)
+        findings.extend(_lint_tree(tree, ctx, rules))
     return sorted(findings)

@@ -16,6 +16,9 @@ A ``referlint-baseline.json`` in the working directory is picked up
 automatically; ``--baseline`` points elsewhere, ``--no-baseline``
 ignores it, and ``--write-baseline`` (re)grandfathers the current
 findings so a new rule can land before its backlog is fixed.
+``--prune-baseline`` is the burn-down ratchet: it rewrites the
+baseline without entries the tree no longer needs and exits 1 if any
+were stale, so CI forces the grandfather list to only ever shrink.
 """
 
 from __future__ import annotations
@@ -64,6 +67,14 @@ def _build_parser() -> argparse.ArgumentParser:
         "--write-baseline",
         action="store_true",
         help="write current findings to the baseline file and exit 0",
+    )
+    parser.add_argument(
+        "--prune-baseline",
+        action="store_true",
+        help=(
+            "rewrite the baseline file without entries the current "
+            "findings no longer consume; exit 1 if any were stale"
+        ),
     )
     parser.add_argument(
         "--select",
@@ -168,6 +179,28 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         except (OSError, ValueError, KeyError) as exc:
             print(f"referlint: cannot read baseline: {exc}", file=sys.stderr)
             return 2
+
+    if args.prune_baseline:
+        if args.no_baseline or baseline_path is None:
+            print(
+                "referlint: --prune-baseline needs a baseline file",
+                file=sys.stderr,
+            )
+            return 2
+        pruned, stale = baseline.prune(findings)
+        if not stale:
+            print("referlint: baseline is tight (nothing to prune)")
+            return 0
+        pruned.save(baseline_path)
+        for key, count in sorted(stale.items()):
+            suffix = f" (x{count})" if count > 1 else ""
+            print(f"referlint: pruned stale baseline entry {key}{suffix}")
+        print(
+            f"referlint: {sum(stale.values())} stale entr"
+            f"{'y' if sum(stale.values()) == 1 else 'ies'} removed from "
+            f"{baseline_path}; commit the updated file"
+        )
+        return 1
 
     new, baselined = baseline.split(findings)
     _emit(args.format, new, baselined)

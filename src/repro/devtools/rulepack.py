@@ -103,24 +103,28 @@ _WALL_CLOCK_CALLS = frozenset(
 class NoWallClock(Rule):
     """REF002 — simulation subsystems read time from the sim clock only.
 
-    Inside ``sim/``, ``net/``, ``core/``, ``wsan/`` and ``chaos/``
-    every timestamp must come from ``Simulator.now``: a single
+    Inside ``sim/``, ``net/``, ``core/``, ``wsan/``, ``chaos/``,
+    ``recovery/``, ``telemetry/`` and the runtime tracer every
+    timestamp must come from ``Simulator.now``: a single
     ``time.time()`` makes latency, deadlines and event ordering depend
     on the host machine and silently kills run-to-run reproducibility.
+    (Deliberate wall-clock observability — e.g. the profiler measuring
+    *host* cost of sim work — carries an inline suppression with a
+    justification comment.)
     """
 
     rule_id = "REF002"
     title = "no wall-clock time in simulation code"
     rationale = (
-        "sim/net/core/wsan/chaos/recovery must use the simulation "
-        "clock (sim.now)"
+        "sim/net/core/wsan/chaos/recovery/telemetry must use the "
+        "simulation clock (sim.now)"
     )
     node_types = (ast.Call,)
 
     def applies_to(self, ctx: RuleContext) -> bool:
-        return not ctx.is_test_file and ctx.in_directory(
-            "sim", "net", "core", "wsan", "chaos", "recovery"
-        )
+        from repro.devtools.flowpack import in_sim_scope
+
+        return not ctx.is_test_file and in_sim_scope(ctx)
 
     def visit(self, node: ast.AST, ctx: RuleContext) -> None:
         name = dotted_name(node.func)  # type: ignore[attr-defined]
@@ -290,9 +294,12 @@ class NoPrintInProtocolCode(Rule):
     node_types = (ast.Call,)
 
     def applies_to(self, ctx: RuleContext) -> bool:
-        return not ctx.is_test_file and ctx.in_directory(
-            "sim", "net", "core", "wsan", "chaos", "recovery",
-            "kautz", "dht", "baselines",
+        return not ctx.is_test_file and (
+            ctx.in_directory(
+                "sim", "net", "core", "wsan", "chaos", "recovery",
+                "kautz", "dht", "baselines", "telemetry",
+            )
+            or ctx.path.endswith("devtools/cover.py")
         )
 
     def visit(self, node: ast.AST, ctx: RuleContext) -> None:

@@ -24,9 +24,25 @@ from __future__ import annotations
 
 import ast
 from pathlib import PurePosixPath
-from typing import Dict, List, Optional, Tuple, Type
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple, Type
 
 from repro.devtools.findings import ERROR, Finding
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for hints only
+    from repro.devtools.callgraph import Project
+    from repro.devtools.dataflow import ModuleFlow
+    from repro.devtools.scopes import ModuleScopes
+
+
+def is_test_path(path: str) -> bool:
+    """Whether ``path`` is a test file (relaxed rule scope, no summaries)."""
+    parts = PurePosixPath(path.replace("\\", "/")).parts
+    name = parts[-1] if parts else ""
+    return (
+        "tests" in parts
+        or name.startswith("test_")
+        or name == "conftest.py"
+    )
 
 #: The global registry, keyed by rule id.  Populated by :func:`register`
 #: (the built-in pack lives in :mod:`repro.devtools.rulepack`).
@@ -47,9 +63,9 @@ def register(rule_class: Type["Rule"]) -> Type["Rule"]:
 
 def all_rules() -> List["Rule"]:
     """Fresh instances of every registered rule, sorted by id."""
-    # Importing the pack here (not at module import) keeps the registry
+    # Importing the packs here (not at module import) keeps the registry
     # mechanism independent of the built-in rules.
-    from repro.devtools import rulepack  # noqa: F401  (registers rules)
+    from repro.devtools import flowpack, rulepack  # noqa: F401  (registers)
 
     return [REGISTRY[rule_id]() for rule_id in sorted(REGISTRY)]
 
@@ -57,26 +73,64 @@ def all_rules() -> List["Rule"]:
 class RuleContext:
     """Per-file state shared by every rule during one driver pass."""
 
-    def __init__(self, path: str, source: str) -> None:
+    def __init__(
+        self,
+        path: str,
+        source: str,
+        project: Optional["Project"] = None,
+    ) -> None:
         #: Normalised (posix-separator) path of the file under lint.
         self.path = str(PurePosixPath(*PurePosixPath(path.replace("\\", "/")).parts))
         self.source = source
         self.lines = source.splitlines()
         self.findings: List[Finding] = []
+        #: The cross-module analysis of this lint run, when whole
+        #: directories were linted; ``None`` for single-file entry
+        #: points (flow rules degrade to intraprocedural precision).
+        self.project = project
+        #: The parsed module, attached by the driver before rules run.
+        self.tree: Optional[ast.Module] = None
+        self._scopes: Optional["ModuleScopes"] = None
+        self._flow: Optional["ModuleFlow"] = None
         parts = PurePosixPath(self.path).parts
         self._parts = frozenset(parts)
-        name = parts[-1] if parts else ""
         #: Test files opt out of the library-only rules (tests assert
         #: exact floats on purpose and may drive RNGs directly).
-        self.is_test_file = (
-            "tests" in self._parts
-            or name.startswith("test_")
-            or name == "conftest.py"
-        )
+        self.is_test_file = is_test_path(self.path)
 
     def in_directory(self, *names: str) -> bool:
         """Whether any path component matches one of ``names``."""
         return any(name in self._parts for name in names)
+
+    @property
+    def scopes(self) -> Optional["ModuleScopes"]:
+        """This file's symbol table (built on first use)."""
+        if self._scopes is None and self.tree is not None:
+            from repro.devtools.scopes import build_scopes
+
+            self._scopes = build_scopes(self.tree, self.path)
+        return self._scopes
+
+    def module_flow(self) -> Optional["ModuleFlow"]:
+        """This file's dataflow analysis, shared by every flow rule.
+
+        Prefers the converged project-pass result (interprocedural
+        summaries included); falls back to a local analysis for
+        single-file lints and test files.
+        """
+        if self._flow is None:
+            if self.project is not None:
+                self._flow = self.project.flow_for(self.path)
+            if self._flow is None and self.tree is not None:
+                from repro.devtools.dataflow import analyse_module
+
+                summaries = (
+                    self.project.summaries if self.project is not None else None
+                )
+                self._flow = analyse_module(
+                    self.tree, self.path, summaries, self.scopes
+                )
+        return self._flow
 
     def report(
         self,

@@ -1,0 +1,377 @@
+"""Symbol tables and scope resolution for referlint's flow passes.
+
+The node-pattern rules of :mod:`repro.devtools.rulepack` match syntax
+(``time.time()`` spelled exactly so); the dataflow rules need to know
+what a *name* means at its use site: is ``helper`` a local, a parameter,
+a function defined in this module, or ``repro.util.clockskew.helper``
+imported two screens up?  This module builds that answer once per file.
+
+:func:`build_scopes` walks a parsed module and produces a
+:class:`ModuleScopes`: a tree of :class:`Scope` objects (module,
+class, function) whose bindings record how each name was introduced.
+:meth:`ModuleScopes.qualified_name` then resolves a call
+expression to a dotted name — ``"time.time"``, ``"repro.util.x.f"``,
+``"repro.net.medium.WirelessMedium.refresh"`` for ``self.refresh()``
+— which is exactly the key the call graph's function summaries are
+indexed by.
+
+Resolution follows Python's actual scoping rules where they matter for
+lint precision (class bodies are skipped when resolving from nested
+functions; ``global`` declarations re-bind at module scope) and stays
+deliberately approximate where precision buys nothing (comprehension
+targets bind into the enclosing function scope — referlint never needs
+to distinguish the two).
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from pathlib import PurePosixPath
+from typing import Dict, List, Optional
+
+#: Binding kinds, in the vocabulary the flow passes branch on.
+IMPORT = "import"          # ``from a.b import c`` / ``import a.b as c``
+MODULE_IMPORT = "module"   # ``import a.b`` (binds the root name ``a``)
+FUNCTION = "function"
+CLASS = "class"
+PARAM = "param"
+LOCAL = "local"
+
+
+@dataclass
+class Binding:
+    """How one name was introduced into one scope."""
+
+    name: str
+    kind: str
+    #: Dotted target for imports (``"os.path"``), the definition's
+    #: qualified name for functions/classes, ``None`` for locals.
+    target: Optional[str] = None
+    #: The statement that created the binding (for anchoring findings).
+    node: Optional[ast.AST] = None
+
+
+class Scope:
+    """One lexical scope: its bindings and its place in the scope tree."""
+
+    def __init__(
+        self,
+        kind: str,
+        node: ast.AST,
+        parent: Optional["Scope"],
+        qualname: str,
+    ) -> None:
+        #: ``"module"``, ``"class"`` or ``"function"`` (lambdas count
+        #: as functions).
+        self.kind = kind
+        self.node = node
+        self.parent = parent
+        #: Dotted name of this scope (``repro.net.medium.WirelessMedium``).
+        self.qualname = qualname
+        self.bindings: Dict[str, Binding] = {}
+        self.children: List["Scope"] = []
+        #: Names declared ``global`` in this (function) scope.
+        self.globals: frozenset = frozenset()
+        if parent is not None:
+            parent.children.append(self)
+
+    def bind(
+        self,
+        name: str,
+        kind: str,
+        target: Optional[str] = None,
+        node: Optional[ast.AST] = None,
+    ) -> None:
+        """Record ``name`` in this scope (first binding kind wins).
+
+        Imports and defs beat later plain assignments to the same name:
+        the flow passes care where the object *came from*, and a
+        re-assignment such as ``helper = functools.lru_cache()(helper)``
+        does not change its origin.
+        """
+        existing = self.bindings.get(name)
+        if existing is not None and existing.kind != LOCAL and kind == LOCAL:
+            return
+        self.bindings[name] = Binding(name, kind, target, node)
+
+    def resolve(self, name: str) -> Optional[Binding]:
+        """The binding ``name`` refers to from inside this scope.
+
+        Walks outward, skipping class scopes for lookups that did not
+        start in them (Python's rule: methods do not see class-body
+        names as free variables).
+        """
+        scope: Optional[Scope] = self
+        first = True
+        while scope is not None:
+            if scope.kind != "class" or first:
+                if name in scope.globals:
+                    module = scope
+                    while module.parent is not None:
+                        module = module.parent
+                    return module.bindings.get(name)
+                binding = scope.bindings.get(name)
+                if binding is not None:
+                    return binding
+            first = False
+            scope = scope.parent
+        return None
+
+
+class ModuleScopes:
+    """The scope tree of one module plus name-resolution helpers."""
+
+    def __init__(self, module_name: str, module_scope: Scope) -> None:
+        self.module_name = module_name
+        self.module = module_scope
+        #: Scope owned by each scope-introducing node (module, def,
+        #: lambda, class), keyed by node identity.
+        self.by_node: Dict[ast.AST, Scope] = {}
+
+    def scope_of(self, node: ast.AST) -> Optional[Scope]:
+        """The scope *introduced by* ``node`` (a def/class/module)."""
+        return self.by_node.get(node)
+
+    def qualified_name(
+        self, expr: ast.AST, scope: Scope
+    ) -> Optional[str]:
+        """Resolve an expression to a dotted name, or ``None``.
+
+        Handles the three shapes the flow passes meet: a bare name
+        (``helper`` → where it was imported from or defined), an
+        attribute chain rooted in an import (``time.time``,
+        ``mod.sub.fn``), and a ``self.method`` chain inside a class
+        (resolved against the enclosing class's qualified name).
+        """
+        parts: List[str] = []
+        node = expr
+        while isinstance(node, ast.Attribute):
+            parts.append(node.attr)
+            node = node.value
+        if not isinstance(node, ast.Name):
+            return None
+        parts.append(node.id)
+        parts.reverse()
+        root = parts[0]
+        if root == "self" and len(parts) == 2:
+            klass = _enclosing_class(scope)
+            if klass is not None:
+                return f"{klass.qualname}.{parts[1]}"
+            return None
+        binding = scope.resolve(root)
+        if binding is None:
+            # Unshadowed builtins and unknown globals resolve to their
+            # bare spelling — ``sorted``, ``id`` — which is what the
+            # taint transfer functions match on.
+            return ".".join(parts)
+        if binding.kind in (IMPORT, MODULE_IMPORT):
+            return ".".join([binding.target or root] + parts[1:])
+        if binding.kind in (FUNCTION, CLASS):
+            return ".".join([binding.target or root] + parts[1:])
+        return None
+
+
+def _enclosing_class(scope: Optional[Scope]) -> Optional[Scope]:
+    while scope is not None:
+        if scope.kind == "class":
+            return scope
+        scope = scope.parent
+    return None
+
+
+def module_name_for_path(path: str) -> str:
+    """Derive the dotted module name from a file path.
+
+    ``src/repro/net/medium.py`` → ``repro.net.medium``; paths outside a
+    ``repro`` package fall back to the file stem, which keeps fixture
+    trees and scratch files resolvable without special cases.
+    """
+    posix = PurePosixPath(path.replace("\\", "/"))
+    parts = list(posix.parts)
+    if parts and parts[-1].endswith(".py"):
+        parts[-1] = parts[-1][: -len(".py")]
+    if parts and parts[-1] == "__init__":
+        parts = parts[:-1]
+    for i in range(len(parts) - 1, -1, -1):
+        if parts[i] == "repro":
+            return ".".join(parts[i:])
+    return parts[-1] if parts else "<unknown>"
+
+
+class _ScopeBuilder(ast.NodeVisitor):
+    """One walk of the module, creating scopes and bindings."""
+
+    def __init__(self, module_name: str, tree: ast.Module) -> None:
+        self.module_name = module_name
+        self.result = ModuleScopes(
+            module_name, Scope("module", tree, None, module_name)
+        )
+        self.result.by_node[tree] = self.result.module
+        self._stack: List[Scope] = [self.result.module]
+
+    # -- scope plumbing ------------------------------------------------------
+
+    @property
+    def _scope(self) -> Scope:
+        return self._stack[-1]
+
+    def _push(self, kind: str, node: ast.AST, name: str) -> Scope:
+        scope = Scope(
+            kind, node, self._scope, f"{self._scope.qualname}.{name}"
+        )
+        self.result.by_node[node] = scope
+        self._stack.append(scope)
+        return scope
+
+    def _pop(self) -> None:
+        self._stack.pop()
+
+    # -- binders -------------------------------------------------------------
+
+    def _bind_target(self, target: ast.AST, node: ast.AST) -> None:
+        for sub in ast.walk(target):
+            if isinstance(sub, ast.Name) and isinstance(
+                sub.ctx, (ast.Store, ast.Del)
+            ):
+                self._scope.bind(sub.id, LOCAL, node=node)
+
+    def visit_Import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            if alias.asname:
+                self._scope.bind(alias.asname, IMPORT, alias.name, node)
+            else:
+                root = alias.name.split(".")[0]
+                self._scope.bind(root, MODULE_IMPORT, root, node)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        base = node.module or ""
+        if node.level:
+            # Relative import: anchor against this module's package.
+            package = self.module_name.rsplit(".", node.level)[0]
+            base = f"{package}.{base}" if base else package
+        for alias in node.names:
+            if alias.name == "*":
+                continue
+            bound = alias.asname or alias.name
+            self._scope.bind(bound, IMPORT, f"{base}.{alias.name}", node)
+
+    def _visit_function(self, node, name: str) -> None:
+        self._scope.bind(
+            name, FUNCTION, f"{self._scope.qualname}.{name}", node
+        )
+        for default in list(node.args.defaults) + [
+            d for d in node.args.kw_defaults if d is not None
+        ]:
+            self.visit(default)
+        scope = self._push("function", node, name)
+        args = node.args
+        params = (
+            list(getattr(args, "posonlyargs", []))
+            + list(args.args)
+            + list(args.kwonlyargs)
+        )
+        if args.vararg:
+            params.append(args.vararg)
+        if args.kwarg:
+            params.append(args.kwarg)
+        for param in params:
+            scope.bind(param.arg, PARAM, node=node)
+        declared = [
+            stmt.names
+            for stmt in ast.walk(node)
+            if isinstance(stmt, ast.Global)
+        ]
+        scope.globals = frozenset(n for names in declared for n in names)
+        for stmt in node.body:
+            self.visit(stmt)
+        self._pop()
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._visit_function(node, node.name)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._visit_function(node, node.name)
+
+    def visit_Lambda(self, node: ast.Lambda) -> None:
+        scope = self._push("function", node, "<lambda>")
+        for param in list(node.args.args) + list(node.args.kwonlyargs):
+            scope.bind(param.arg, PARAM, node=node)
+        self.visit(node.body)
+        self._pop()
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        self._scope.bind(
+            node.name, CLASS, f"{self._scope.qualname}.{node.name}", node
+        )
+        for base in node.bases:
+            self.visit(base)
+        self._push("class", node, node.name)
+        for stmt in node.body:
+            self.visit(stmt)
+        self._pop()
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        self.visit(node.value)
+        for target in node.targets:
+            self._bind_target(target, node)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        if node.value is not None:
+            self.visit(node.value)
+        self._bind_target(node.target, node)
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        self.visit(node.value)
+        self._bind_target(node.target, node)
+
+    def visit_For(self, node: ast.For) -> None:
+        self.visit(node.iter)
+        self._bind_target(node.target, node)
+        for stmt in node.body + node.orelse:
+            self.visit(stmt)
+
+    visit_AsyncFor = visit_For
+
+    def visit_With(self, node: ast.With) -> None:
+        for item in node.items:
+            self.visit(item.context_expr)
+            if item.optional_vars is not None:
+                self._bind_target(item.optional_vars, node)
+        for stmt in node.body:
+            self.visit(stmt)
+
+    visit_AsyncWith = visit_With
+
+    def visit_ExceptHandler(self, node: ast.ExceptHandler) -> None:
+        if node.name:
+            self._scope.bind(node.name, LOCAL, node=node)
+        for stmt in node.body:
+            self.visit(stmt)
+
+    def _visit_comprehension(self, node) -> None:
+        # Comprehension targets bind into the enclosing scope here —
+        # close enough for taint resolution, and it keeps every
+        # comprehension variable visible to the flow engine.
+        for gen in node.generators:
+            self.visit(gen.iter)
+            self._bind_target(gen.target, node)
+            for cond in gen.ifs:
+                self.visit(cond)
+        if isinstance(node, ast.DictComp):
+            self.visit(node.key)
+            self.visit(node.value)
+        else:
+            self.visit(node.elt)
+
+    visit_ListComp = _visit_comprehension
+    visit_SetComp = _visit_comprehension
+    visit_GeneratorExp = _visit_comprehension
+    visit_DictComp = _visit_comprehension
+
+
+def build_scopes(tree: ast.Module, path: str) -> ModuleScopes:
+    """Build the scope tree for one parsed module."""
+    builder = _ScopeBuilder(module_name_for_path(path), tree)
+    builder.visit(tree)
+    return builder.result

@@ -254,7 +254,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         telemetry=TelemetryConfig(wall_clock=args.wall),
     )
     result = run_scenario(args.system, config)
-    print(render(result), end="")
+    # This *is* the report CLI — rendering to stdout is its contract.
+    print(render(result), end="")  # referlint: disable=REF007
 
     telemetry = result.telemetry
     if telemetry is not None:

@@ -1,0 +1,22 @@
+"""Known-bad: unordered iteration driving scheduling, draws, emission."""
+
+
+def schedule_members(sim, members, rng):
+    active = set(members)
+    for node in active:
+        sim.schedule(1.0, node.tick)  # EXPECT: REF008
+    for node in active:
+        delay = rng.random()  # EXPECT: REF008
+        sim.call_later(delay, node.poke)  # EXPECT: REF008
+    return delay
+
+
+def neighbour_list(adjacency):
+    neighbours = set(adjacency)
+    return list(neighbours)  # EXPECT: REF008
+
+
+def via_dict_view(load_by_node):
+    heavy = {n for n, load in load_by_node.items() if load > 2}
+    index = dict.fromkeys(heavy)
+    return tuple(index.keys())  # EXPECT: REF008

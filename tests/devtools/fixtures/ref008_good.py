@@ -1,0 +1,27 @@
+"""Known-good: sorted or order-free consumption of unordered values."""
+
+import math
+
+
+def schedule_members(sim, members):
+    active = set(members)
+    for node in sorted(active):
+        sim.schedule(1.0, node.tick)
+    return sorted(active)
+
+
+def draw_in_order(sim, members, rng):
+    for node in sorted(set(members)):
+        sim.call_later(rng.random(), node.poke)
+
+
+def order_free_consumption(members):
+    active = set(members)
+    return len(active), any(active), max(active), math.fsum(active)
+
+
+def ordinary_list_iteration(sim, members):
+    queue = list(members)
+    for node in queue:
+        sim.schedule(1.0, node.tick)
+    return queue

@@ -1,0 +1,11 @@
+"""Known-bad: ad-hoc generators and undisciplined stream names."""
+
+import random
+
+
+def make_generators(streams, label):
+    ad_hoc = random.Random(7)  # EXPECT: REF009
+    unknown = streams.stream("definitely-not-registered")  # EXPECT: REF009
+    dynamic = streams.stream(label)  # EXPECT: REF009
+    loose = streams.stream(f"mystery.{label}")  # EXPECT: REF009
+    return ad_hoc, unknown, dynamic, loose

@@ -1,0 +1,8 @@
+"""Known-good: registered literal names; a declared dynamic family."""
+
+
+def make_generators(streams, index, kind):
+    mac = streams.stream("mac")
+    detector = streams.stream("recovery.detector")
+    fault = streams.stream(f"chaos.{index}.{kind}")
+    return mac, detector, fault

@@ -1,0 +1,25 @@
+"""Known-bad: memory addresses used as keys, orderings, comparisons."""
+
+
+def rank(nodes):
+    ordered = sorted(nodes, key=id)  # EXPECT: REF010
+    by_addr = {id(n): n for n in nodes}  # EXPECT: REF010
+    return ordered, by_addr
+
+
+def tie_break(first, second):
+    if id(first) < id(second):  # EXPECT: REF010
+        return first
+    return second
+
+
+def index_by_hash(table, obj):
+    table[hash(obj)] = obj  # EXPECT: REF010
+    return table
+
+
+def collect(nodes):
+    seen = set()
+    for node in nodes:
+        seen.add(id(node))  # EXPECT: REF010
+    return seen

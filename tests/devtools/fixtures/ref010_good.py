@@ -1,0 +1,22 @@
+"""Known-good: stable-identity keys; hash() of hashable content."""
+
+
+def rank(nodes):
+    ordered = sorted(nodes, key=lambda n: n.node_id)
+    by_id = {n.node_id: n for n in nodes}
+    return ordered, by_id
+
+
+def tie_break(first, second):
+    if first.node_id < second.node_id:
+        return first
+    return second
+
+
+def index_by_id(table, obj):
+    table[obj.node_id] = obj
+    return table
+
+
+def literal_hash_is_fine():
+    return hash("refer")

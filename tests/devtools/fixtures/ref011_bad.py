@@ -1,0 +1,21 @@
+"""Known-bad: order-sensitive float reductions over unordered values."""
+
+
+def total_load(cells):
+    pending = set(cells)
+    return sum(pending)  # EXPECT: REF011
+
+
+def drift(cells):
+    total = 0.0
+    for cell in set(cells):
+        total += cell.load  # EXPECT: REF011
+    return total
+
+
+def weighted(weights):
+    acc = 0.0
+    heavy = frozenset(weights)
+    for w in heavy:
+        acc += w * 0.5  # EXPECT: REF011
+    return acc

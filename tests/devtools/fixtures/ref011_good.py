@@ -1,0 +1,29 @@
+"""Known-good: fsum, counting, and sorted-first accumulation."""
+
+import math
+
+
+def total_load(cells):
+    pending = set(cells)
+    return math.fsum(pending)
+
+
+def counted(cells):
+    count = 0
+    for _cell in set(cells):
+        count += 1
+    return count
+
+
+def ordered_total(cells):
+    total = 0.0
+    for cell in sorted(set(cells)):
+        total += cell
+    return total
+
+
+def plain_list_total(cells):
+    total = 0.0
+    for cell in list(cells):
+        total += cell
+    return total

@@ -1,0 +1,12 @@
+"""Known-bad: a wall-clock value laundered through a local helper."""
+
+import time
+
+
+def wall_helper():
+    return time.time()  # EXPECT: REF002
+
+
+def deadline(sim):
+    start = wall_helper()  # EXPECT: REF012
+    return start + sim.now

@@ -1,0 +1,14 @@
+"""Known-good: sim-clock timestamps; helpers of unknown provenance."""
+
+
+def sim_helper(sim):
+    return sim.now
+
+
+def deadline(sim, budget):
+    start = sim_helper(sim)
+    return start + budget
+
+
+def unknown_callable_is_trusted(sim, helper):
+    return helper() + sim.now

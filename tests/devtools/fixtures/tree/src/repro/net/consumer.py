@@ -1,0 +1,28 @@
+"""Sim-side module of the interprocedural corpus.
+
+No ``time.`` spelling and no ``set`` literal appears in this file —
+every finding here requires taint carried across the module boundary
+by the project call-graph summaries.
+"""
+
+from repro.util.helpers import indirect_clock, make_bucket, read_clock
+
+
+def deadline(sim):
+    start = read_clock()  # EXPECT: REF012
+    return start + sim.now
+
+
+def chained_deadline(sim):
+    start = indirect_clock()  # EXPECT: REF012
+    return start + sim.now
+
+
+def fanout(sim, items):
+    for item in make_bucket(items):
+        sim.schedule(1.0, item.tick)  # EXPECT: REF008
+
+
+def ordered_fanout(sim, items):
+    for item in sorted(make_bucket(items)):
+        sim.schedule(1.0, item.tick)

@@ -1,0 +1,19 @@
+"""Helper package of the interprocedural corpus.
+
+Wall-clock reads are *legal* here (``util`` is outside the sim scope);
+the violation only exists once a sim-side module consumes the values.
+"""
+
+import time
+
+
+def read_clock():
+    return time.time()
+
+
+def indirect_clock():
+    return read_clock()
+
+
+def make_bucket(items):
+    return set(items)

@@ -1,0 +1,147 @@
+"""Unit tests for the cross-module call graph and summary fixpoint."""
+
+import ast
+
+from repro.devtools.callgraph import MAX_ROUNDS, Project
+from repro.devtools.dataflow import UNORDERED, WALLCLOCK
+
+
+def build(*modules):
+    """Project from ``(path, source)`` pairs."""
+    return Project.build(
+        [(path, ast.parse(source)) for path, source in modules]
+    )
+
+
+CLOCK = (
+    "src/repro/util/clock.py",
+    "import time\n"
+    "def read():\n"
+    "    return time.time()\n",
+)
+
+
+class TestSummaryConvergence:
+    def test_cross_module_wallclock_summary(self):
+        project = build(CLOCK)
+        s = project.summaries["repro.util.clock.read"]
+        assert s.returns & WALLCLOCK
+        assert s.wall_source == "time.time"
+
+    def test_taint_crosses_module_boundary(self):
+        project = build(
+            CLOCK,
+            (
+                "src/repro/util/indirect.py",
+                "from repro.util.clock import read\n"
+                "def relay():\n"
+                "    return read()\n",
+            ),
+        )
+        s = project.summaries["repro.util.indirect.relay"]
+        assert s.returns & WALLCLOCK
+        assert s.wall_source == "time.time"
+
+    def test_helper_chain_converges_within_round_budget(self):
+        # A chain of helpers, each in its own module, longer than one
+        # round can resolve: path ordering (a < b < c...) is the worst
+        # case when the source sits in the last module.
+        chain = [
+            (
+                "src/repro/util/z_source.py",
+                "import time\ndef h0():\n    return time.time()\n",
+            )
+        ]
+        for i in range(1, MAX_ROUNDS - 1):
+            chain.append(
+                (
+                    f"src/repro/util/a{i:02d}.py",
+                    f"from repro.util.z_source import h0\n"
+                    f"from repro.util.a{i - 1:02d} import h{i - 1}\n"
+                    f"def h{i}():\n"
+                    f"    return h{i - 1}()\n"
+                    if i > 1
+                    else "from repro.util.z_source import h0\n"
+                    "def h1():\n"
+                    "    return h0()\n",
+                )
+            )
+        project = build(*chain)
+        top = f"repro.util.a{MAX_ROUNDS - 2:02d}.h{MAX_ROUNDS - 2}"
+        assert project.summaries[top].returns & WALLCLOCK
+        assert project.rounds <= MAX_ROUNDS
+
+    def test_unordered_summary_crosses_modules(self):
+        project = build(
+            (
+                "src/repro/core/sets.py",
+                "def bucket(xs):\n    return set(xs)\n",
+            ),
+            (
+                "src/repro/net/user.py",
+                "from repro.core.sets import bucket\n"
+                "def f(xs):\n"
+                "    return bucket(xs)\n",
+            ),
+        )
+        assert project.summaries["repro.net.user.f"].returns & UNORDERED
+
+    def test_recursion_terminates(self):
+        project = build(
+            (
+                "src/repro/util/loop.py",
+                "def a(n):\n"
+                "    return b(n - 1) if n else 0\n"
+                "def b(n):\n"
+                "    return a(n - 1) if n else 0\n",
+            )
+        )
+        assert project.rounds <= MAX_ROUNDS
+
+
+class TestStreamUses:
+    def test_literal_and_dynamic_uses_recorded(self):
+        project = build(
+            (
+                "src/repro/experiments/runner.py",
+                "def go(streams, i):\n"
+                "    a = streams.stream('mac')\n"
+                "    b = streams.stream(f'chaos.{i}.crash')\n"
+                "    return a, b\n",
+            )
+        )
+        names = [use.name for use in project.stream_uses]
+        assert names == ["mac", None]
+
+    def test_stream_packages_maps_library_packages(self):
+        project = build(
+            (
+                "src/repro/experiments/runner.py",
+                "def go(s):\n    return s.stream('mac')\n",
+            ),
+            (
+                "src/repro/chaos/models.py",
+                "def go(s):\n    return s.stream('mac')\n",
+            ),
+        )
+        assert project.stream_packages()["mac"] == ["chaos", "experiments"]
+
+    def test_driver_scripts_outside_repro_are_exempt(self):
+        project = build(
+            (
+                "src/repro/experiments/runner.py",
+                "def go(s):\n    return s.stream('mac')\n",
+            ),
+            (
+                "benchmarks/bench_thing.py",
+                "def go(s):\n    return s.stream('mac')\n",
+            ),
+        )
+        assert project.stream_packages()["mac"] == ["experiments"]
+
+
+class TestFlowLookup:
+    def test_flow_for_known_and_unknown_paths(self):
+        project = build(CLOCK)
+        assert project.flow_for("src/repro/util/clock.py") is not None
+        assert project.flow_for("src/repro/util/other.py") is None

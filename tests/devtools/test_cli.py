@@ -119,6 +119,63 @@ class TestBaselineFlow:
         assert main(["src"]) == 2
 
 
+class TestPruneBaseline:
+    def test_tight_baseline_exits_zero(self, tree, capsys):
+        plant_violation(tree)
+        main(["--write-baseline", "src"])
+        assert main(["--prune-baseline", "src"]) == 0
+        assert "tight" in capsys.readouterr().out
+
+    def test_stale_entry_is_pruned_and_fails(self, tree, capsys):
+        plant_violation(tree)
+        main(["--write-baseline", "src"])
+        # Fix the violation without touching the baseline: stale.
+        (tree / "src" / "repro" / "net" / "bad.py").write_text(
+            '"""Fixed."""\n'
+        )
+        assert main(["--prune-baseline", "src"]) == 1
+        out = capsys.readouterr().out
+        assert "pruned stale baseline entry" in out
+        assert "REF001" in out
+        # The rewrite is durable: a second prune finds nothing stale,
+        # and a plain lint still passes.
+        assert main(["--prune-baseline", "src"]) == 0
+        assert main(["src"]) == 0
+
+    def test_prune_keeps_still_live_entries(self, tree, capsys):
+        plant_violation(tree)
+        (tree / "src" / "repro" / "net" / "worse.py").write_text(
+            "import random\nrandom.seed(1)\n"
+        )
+        main(["--write-baseline", "src"])
+        (tree / "src" / "repro" / "net" / "worse.py").write_text(
+            '"""Fixed."""\n'
+        )
+        assert main(["--prune-baseline", "src"]) == 1
+        # bad.py's entry survived the prune: still grandfathered.
+        assert main(["src"]) == 0
+
+    def test_prune_without_baseline_is_usage_error(self, tree, capsys):
+        assert main(["--prune-baseline", "src"]) == 2
+        assert "needs a baseline" in capsys.readouterr().err
+
+    def test_prune_respects_multiset_counts(self, tree, capsys):
+        (tree / "src" / "repro" / "net" / "two.py").write_text(
+            "import random\nx = random.random()\ny = random.random()\n"
+        )
+        main(["--write-baseline", "src"])
+        (tree / "src" / "repro" / "net" / "two.py").write_text(
+            "import random\nx = random.random()\n"
+        )
+        assert main(["--prune-baseline", "src"]) == 1
+        assert main(["src"]) == 0
+        # Re-introducing the second copy is a *new* finding again.
+        (tree / "src" / "repro" / "net" / "two.py").write_text(
+            "import random\nx = random.random()\ny = random.random()\n"
+        )
+        assert main(["src"]) == 1
+
+
 class TestModuleInvocation:
     def test_python_dash_m_entry_point(self, tree):
         # The real subprocess invocation CI uses.

@@ -1,0 +1,222 @@
+"""Unit tests for the per-function taint engine (no rules involved)."""
+
+import ast
+
+from repro.devtools import dataflow
+from repro.devtools.dataflow import (
+    CLEAN,
+    IDENTITY,
+    RNG,
+    SEQUENCE,
+    UNORDERED,
+    WALLCLOCK,
+    FunctionSummary,
+    analyse_module,
+)
+
+
+def flow_of(source, path="src/repro/net/example.py", summaries=None):
+    return analyse_module(ast.parse(source), path, summaries)
+
+
+def summary(flow, qualname):
+    return flow.local_summaries()[qualname]
+
+
+def kinds(flow):
+    return [obs.kind for obs in flow.observations()]
+
+
+class TestTaintTransfer:
+    def test_set_literal_is_unordered(self):
+        flow = flow_of("def f(xs):\n    return {x for x in xs}\n")
+        assert summary(flow, "repro.net.example.f").returns & UNORDERED
+
+    def test_sorted_sanitises(self):
+        flow = flow_of(
+            "def f(xs):\n"
+            "    s = set(xs)\n"
+            "    return sorted(s)\n"
+        )
+        returns = summary(flow, "repro.net.example.f").returns
+        assert not returns & (UNORDERED | SEQUENCE)
+
+    def test_list_of_set_is_hash_ordered_sequence(self):
+        flow = flow_of(
+            "def f(xs):\n"
+            "    s = set(xs)\n"
+            "    return list(s)\n"
+        )
+        returns = summary(flow, "repro.net.example.f").returns
+        assert returns & UNORDERED and returns & SEQUENCE
+
+    def test_indexing_drops_collection_taints(self):
+        flow = flow_of(
+            "def f(xs):\n"
+            "    seq = list(set(xs))\n"
+            "    return seq[0]\n"
+        )
+        assert summary(flow, "repro.net.example.f").returns == CLEAN
+
+    def test_wall_clock_provenance_recorded(self):
+        flow = flow_of(
+            "import time\n"
+            "def f():\n"
+            "    t = time.monotonic()\n"
+            "    return t\n"
+        )
+        s = summary(flow, "repro.net.example.f")
+        assert s.returns & WALLCLOCK
+        assert s.wall_source == "time.monotonic"
+
+    def test_identity_from_id_call(self):
+        flow = flow_of("def f(x):\n    return id(x)\n")
+        assert summary(flow, "repro.net.example.f").returns & IDENTITY
+
+    def test_rng_param_is_seeded(self):
+        flow = flow_of(
+            "def f(rng, xs):\n"
+            "    for x in set(xs):\n"
+            "        rng.random()\n"
+        )
+        assert dataflow.UNORDERED_DRAW in kinds(flow)
+
+    def test_branch_join_unions_taint(self):
+        flow = flow_of(
+            "def f(xs, flag):\n"
+            "    if flag:\n"
+            "        v = set(xs)\n"
+            "    else:\n"
+            "        v = []\n"
+            "    return list(v)\n"
+        )
+        assert summary(flow, "repro.net.example.f").returns & UNORDERED
+
+    def test_loop_carried_taint_needs_second_pass(self):
+        # b only becomes tainted from a on the second execution of the
+        # loop body.
+        flow = flow_of(
+            "def f(xs):\n"
+            "    a = []\n"
+            "    b = []\n"
+            "    for _ in range(2):\n"
+            "        b = a\n"
+            "        a = set(xs)\n"
+            "    return list(b)\n"
+        )
+        assert summary(flow, "repro.net.example.f").returns & UNORDERED
+
+    def test_self_attributes_tracked_within_method(self):
+        flow = flow_of(
+            "class C:\n"
+            "    def m(self, xs):\n"
+            "        self.pending = set(xs)\n"
+            "        return list(self.pending)\n"
+        )
+        returns = summary(flow, "repro.net.example.C.m").returns
+        assert returns & UNORDERED
+
+
+class TestObservations:
+    def test_schedule_in_unordered_loop(self):
+        flow = flow_of(
+            "def f(sim, xs):\n"
+            "    for x in set(xs):\n"
+            "        sim.schedule(1.0, x)\n"
+        )
+        assert kinds(flow) == [dataflow.UNORDERED_SCHEDULE]
+
+    def test_loop_body_run_twice_observes_once(self):
+        flow = flow_of(
+            "def f(sim, xs):\n"
+            "    for x in set(xs):\n"
+            "        sim.schedule(1.0, x)\n"
+            "        sim.call_later(2.0, x)\n"
+        )
+        assert sorted(kinds(flow)) == [
+            dataflow.UNORDERED_SCHEDULE,
+            dataflow.UNORDERED_SCHEDULE,
+        ]
+
+    def test_sum_over_set_observed(self):
+        flow = flow_of("def f(xs):\n    return sum(set(xs))\n")
+        assert kinds(flow) == [dataflow.UNORDERED_REDUCTION]
+
+    def test_fsum_is_sanctioned(self):
+        flow = flow_of(
+            "import math\n"
+            "def f(xs):\n"
+            "    return math.fsum(set(xs))\n"
+        )
+        assert kinds(flow) == []
+
+    def test_append_in_unordered_loop_taints_list(self):
+        flow = flow_of(
+            "def f(xs):\n"
+            "    out = []\n"
+            "    for x in set(xs):\n"
+            "        out.append(x)\n"
+            "    return out\n"
+        )
+        assert dataflow.UNORDERED_EMIT in kinds(flow)
+
+    def test_observations_sorted_by_position(self):
+        flow = flow_of(
+            "def f(sim, xs):\n"
+            "    for x in set(xs):\n"
+            "        sim.schedule(1.0, x)\n"
+            "    return sum(set(xs))\n"
+        )
+        lines = [obs.node.lineno for obs in flow.observations()]
+        assert lines == sorted(lines)
+
+
+class TestInterproceduralSummaries:
+    def test_external_summary_consulted(self):
+        summaries = {
+            "repro.util.clock.read": FunctionSummary(
+                returns=WALLCLOCK, wall_source="time.time"
+            )
+        }
+        flow = flow_of(
+            "from repro.util.clock import read\n"
+            "def f():\n"
+            "    return read()\n",
+            summaries=summaries,
+        )
+        assert kinds(flow) == [dataflow.WALLCLOCK_HELPER]
+        s = summary(flow, "repro.net.example.f")
+        assert s.returns & WALLCLOCK
+        assert s.wall_source == "time.time"
+
+    def test_local_helper_summary_available_in_same_pass(self):
+        flow = flow_of(
+            "def helper(xs):\n"
+            "    return set(xs)\n"
+            "def caller(sim, xs):\n"
+            "    for x in helper(xs):\n"
+            "        sim.schedule(1.0, x)\n"
+        )
+        assert dataflow.UNORDERED_SCHEDULE in kinds(flow)
+
+    def test_unresolved_call_defaults_to_clean(self):
+        flow = flow_of(
+            "def f(sim, mystery):\n"
+            "    for x in mystery():\n"
+            "        sim.schedule(1.0, x)\n"
+        )
+        assert kinds(flow) == []
+
+    def test_rng_ish_summary_recognised(self):
+        summaries = {
+            "repro.util.rng.grab": FunctionSummary(returns=RNG)
+        }
+        flow = flow_of(
+            "from repro.util.rng import grab\n"
+            "def f(xs):\n"
+            "    r = grab()\n"
+            "    for x in set(xs):\n"
+            "        r.choice(x)\n",
+            summaries=summaries,
+        )
+        assert dataflow.UNORDERED_DRAW in kinds(flow)

@@ -39,12 +39,19 @@ class TestRef001GlobalRandom:
             "import random\n"
             "def f(rng: random.Random) -> float:\n"
             "    return rng.random()\n"
-            "r = random.Random(42)\n"
         )
         assert lint(source) == []
 
-    def test_allows_from_random_import_random_class(self):
-        assert lint("from random import Random\nr = Random(1)\n") == []
+    def test_construction_is_ref009_territory_not_ref001(self):
+        # Constructing a generator is legal for REF001 (no global state)
+        # but REF009 insists it happen inside RngStreams.
+        findings = lint("import random\nr = random.Random(42)\n")
+        assert ids(findings) == ["REF009"]
+
+    def test_allows_from_random_import_random_class_in_rng_factory(self):
+        source = "from random import Random\nr = Random(1)\n"
+        assert lint(source, path="src/repro/util/rng.py") == []
+        assert ids(lint(source)) == ["REF009"]
 
     def test_annotation_only_usage_is_legal(self):
         assert lint("import random\nrng: random.Random\n") == []
@@ -238,10 +245,14 @@ class TestRef007PrintInProtocolCode:
     def test_flags_print_in_every_protocol_directory(self):
         for directory in (
             "sim", "net", "core", "wsan", "chaos", "recovery",
-            "kautz", "dht", "baselines",
+            "kautz", "dht", "baselines", "telemetry",
         ):
             path = f"src/repro/{directory}/example.py"
             assert ids(lint("print(1)\n", path=path)) == ["REF007"]
+
+    def test_flags_print_in_runtime_tracer(self):
+        path = "src/repro/devtools/cover.py"
+        assert ids(lint("print(1)\n", path=path)) == ["REF007"]
 
     def test_allows_print_outside_protocol_dirs(self):
         # The experiments/figures/report CLIs render to stdout by design.

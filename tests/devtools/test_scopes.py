@@ -1,0 +1,174 @@
+"""Unit tests for the symbol-table / scope-resolution layer."""
+
+import ast
+
+from repro.devtools.scopes import (
+    FUNCTION,
+    IMPORT,
+    LOCAL,
+    MODULE_IMPORT,
+    PARAM,
+    build_scopes,
+    module_name_for_path,
+)
+
+
+def scopes_for(source, path="src/repro/net/example.py"):
+    tree = ast.parse(source)
+    return tree, build_scopes(tree, path)
+
+
+def find(tree, node_type, name=None):
+    for node in ast.walk(tree):
+        if isinstance(node, node_type) and (
+            name is None or getattr(node, "name", None) == name
+        ):
+            return node
+    raise AssertionError(f"no {node_type.__name__} named {name}")
+
+
+class TestModuleName:
+    def test_src_layout(self):
+        assert module_name_for_path("src/repro/net/medium.py") == (
+            "repro.net.medium"
+        )
+
+    def test_package_init(self):
+        assert module_name_for_path("src/repro/net/__init__.py") == "repro.net"
+
+    def test_outside_repro_falls_back_to_stem(self):
+        assert module_name_for_path("scratch/tool.py") == "tool"
+
+    def test_windows_separators(self):
+        assert module_name_for_path("src\\repro\\util\\rng.py") == (
+            "repro.util.rng"
+        )
+
+
+class TestBindings:
+    def test_import_kinds(self):
+        _, scopes = scopes_for(
+            "import time\n"
+            "import os.path as osp\n"
+            "from math import fsum\n"
+        )
+        mod = scopes.module
+        assert mod.bindings["time"].kind == MODULE_IMPORT
+        assert mod.bindings["osp"].kind == IMPORT
+        assert mod.bindings["osp"].target == "os.path"
+        assert mod.bindings["fsum"].target == "math.fsum"
+
+    def test_relative_import_anchored_to_package(self):
+        _, scopes = scopes_for(
+            "from .medium import WirelessMedium\n",
+            path="src/repro/net/router.py",
+        )
+        binding = scopes.module.bindings["WirelessMedium"]
+        assert binding.target == "repro.net.medium.WirelessMedium"
+
+    def test_def_binding_beats_later_reassignment(self):
+        _, scopes = scopes_for(
+            "def helper():\n"
+            "    return 1\n"
+            "helper = memoize(helper)\n"
+        )
+        binding = scopes.module.bindings["helper"]
+        assert binding.kind == FUNCTION
+        assert binding.target == "repro.net.example.helper"
+
+    def test_params_and_locals(self):
+        tree, scopes = scopes_for(
+            "def f(x):\n"
+            "    y = x\n"
+            "    return y\n"
+        )
+        scope = scopes.scope_of(find(tree, ast.FunctionDef, "f"))
+        assert scope.bindings["x"].kind == PARAM
+        assert scope.bindings["y"].kind == LOCAL
+
+
+class TestResolution:
+    def test_nested_function_skips_class_scope(self):
+        tree, scopes = scopes_for(
+            "import time\n"
+            "class C:\n"
+            "    time = 'shadow'\n"
+            "    def m(self):\n"
+            "        return time\n"
+        )
+        method = scopes.scope_of(find(tree, ast.FunctionDef, "m"))
+        binding = method.resolve("time")
+        assert binding.kind == MODULE_IMPORT
+
+    def test_class_body_sees_its_own_names(self):
+        tree, scopes = scopes_for(
+            "class C:\n"
+            "    x = 1\n"
+        )
+        klass = scopes.scope_of(find(tree, ast.ClassDef, "C"))
+        assert klass.resolve("x").kind == LOCAL
+
+    def test_global_declaration_resolves_at_module(self):
+        tree, scopes = scopes_for(
+            "import time\n"
+            "def f():\n"
+            "    global time\n"
+            "    return time\n"
+        )
+        scope = scopes.scope_of(find(tree, ast.FunctionDef, "f"))
+        assert scope.resolve("time").kind == MODULE_IMPORT
+
+
+class TestQualifiedNames:
+    def test_attribute_chain_through_module_import(self):
+        tree, scopes = scopes_for("import time\nt = time.time()\n")
+        call = find(tree, ast.Call)
+        assert scopes.qualified_name(call.func, scopes.module) == "time.time"
+
+    def test_aliased_import_expands(self):
+        tree, scopes = scopes_for(
+            "import datetime as dt\nt = dt.datetime.now()\n"
+        )
+        call = find(tree, ast.Call)
+        assert scopes.qualified_name(call.func, scopes.module) == (
+            "datetime.datetime.now"
+        )
+
+    def test_local_function_gets_module_qualname(self):
+        tree, scopes = scopes_for(
+            "def helper():\n"
+            "    return 1\n"
+            "x = helper()\n"
+        )
+        call = [n for n in ast.walk(tree) if isinstance(n, ast.Call)][0]
+        assert scopes.qualified_name(call.func, scopes.module) == (
+            "repro.net.example.helper"
+        )
+
+    def test_self_method_resolves_via_enclosing_class(self):
+        tree, scopes = scopes_for(
+            "class Medium:\n"
+            "    def refresh(self):\n"
+            "        return 1\n"
+            "    def tick(self):\n"
+            "        return self.refresh()\n"
+        )
+        tick = scopes.scope_of(find(tree, ast.FunctionDef, "tick"))
+        call = find(find(tree, ast.FunctionDef, "tick"), ast.Call)
+        assert scopes.qualified_name(call.func, tick) == (
+            "repro.net.example.Medium.refresh"
+        )
+
+    def test_unresolved_root_falls_back_to_bare_spelling(self):
+        tree, scopes = scopes_for("x = sorted([3, 1])\n")
+        call = find(tree, ast.Call)
+        assert scopes.qualified_name(call.func, scopes.module) == "sorted"
+
+    def test_shadowed_local_resolves_to_none(self):
+        tree, scopes = scopes_for(
+            "def f(sorted):\n"
+            "    return sorted([1])\n"
+        )
+        scope = scopes.scope_of(find(tree, ast.FunctionDef, "f"))
+        call = find(tree, ast.Call)
+        assert scopes.qualified_name(call.func, scope) is None

@@ -1,0 +1,152 @@
+"""Suppression-directive edge cases: the driver's comment parser.
+
+The inline-suppression contract is load-bearing (a directive that
+silently fails to apply turns CI red; one that applies too broadly
+hides real findings), so the corner cases get their own suite:
+multi-line statements under ``disable-next-line``, several directives
+sharing a line, directives spelled inside string literals (data, not
+directives), and comments at end-of-file.
+"""
+
+from repro.devtools import lint_source
+from repro.devtools.driver import suppressions_by_line
+
+LIB = "src/repro/net/example.py"
+
+
+def ids(findings):
+    return [f.rule_id for f in findings]
+
+
+class TestMultiLineStatements:
+    def test_next_line_covers_whole_multiline_statement(self):
+        source = (
+            "import time\n"
+            "# referlint: disable-next-line=REF002\n"
+            "t = max(\n"
+            "    time.time(),\n"
+            "    0.0,\n"
+            ")\n"
+        )
+        assert lint_source(source, LIB) == []
+
+    def test_next_line_does_not_bleed_past_the_statement(self):
+        source = (
+            "import time\n"
+            "# referlint: disable-next-line=REF002\n"
+            "t = max(\n"
+            "    time.time(),\n"
+            ")\n"
+            "u = time.time()\n"
+        )
+        findings = lint_source(source, LIB)
+        assert ids(findings) == ["REF002"]
+        assert findings[0].line == 6
+
+    def test_next_line_on_multiline_statement_first_line_finding(self):
+        source = (
+            "import time\n"
+            "# referlint: disable-next-line=REF002\n"
+            "t = time.time() + max(\n"
+            "    0.0,\n"
+            ")\n"
+        )
+        assert lint_source(source, LIB) == []
+
+
+class TestStackedDirectives:
+    def test_bare_disable_with_rule_specific_on_same_line(self):
+        source = (
+            "import random, time\n"
+            "x = random.random() + time.time()"
+            "  # referlint: disable=REF001  # referlint: disable\n"
+        )
+        assert lint_source(source, LIB) == []
+
+    def test_two_rule_specific_directives_union(self):
+        source = (
+            "import random, time\n"
+            "x = random.random() + time.time()"
+            "  # referlint: disable=REF001  # referlint: disable=REF002\n"
+        )
+        assert lint_source(source, LIB) == []
+
+    def test_rule_specific_directive_still_rule_specific(self):
+        source = (
+            "import random, time\n"
+            "x = random.random() + time.time()"
+            "  # referlint: disable=REF001\n"
+        )
+        assert ids(lint_source(source, LIB)) == ["REF002"]
+
+    def test_same_line_and_next_line_directives_stack(self):
+        source = (
+            "import random, time\n"
+            "# referlint: disable-next-line=REF001\n"
+            "x = random.random() + time.time()"
+            "  # referlint: disable=REF002\n"
+        )
+        assert lint_source(source, LIB) == []
+
+
+class TestDirectivesInsideLiterals:
+    def test_fstring_directive_is_data_not_directive(self):
+        source = (
+            "import random\n"
+            'label = f"# referlint: disable=REF001 {random.random()}"\n'
+        )
+        findings = lint_source(source, LIB)
+        assert ids(findings) == ["REF001"]
+        assert findings[0].line == 2
+
+    def test_plain_string_directive_is_data(self):
+        source = (
+            "import random\n"
+            's = "# referlint: disable"; x = random.random()\n'
+        )
+        assert ids(lint_source(source, LIB)) == ["REF001"]
+
+    def test_real_comment_after_string_still_works(self):
+        source = (
+            "import random\n"
+            's = "text"; x = random.random()  # referlint: disable=REF001\n'
+        )
+        assert lint_source(source, LIB) == []
+
+
+class TestEndOfFile:
+    def test_directive_on_last_line_without_trailing_newline(self):
+        source = (
+            "import random\n"
+            "x = random.random()  # referlint: disable=REF001"
+        )
+        assert lint_source(source, LIB) == []
+
+    def test_next_line_at_eof_points_past_the_file(self):
+        source = (
+            "import random\n"
+            "x = random.random()\n"
+            "# referlint: disable-next-line=REF001"
+        )
+        findings = lint_source(source, LIB)
+        assert ids(findings) == ["REF001"]
+        assert findings[0].line == 2
+
+    def test_comment_only_file(self):
+        assert lint_source("# referlint: disable\n", LIB) == []
+
+
+class TestSuppressionTable:
+    def test_multiple_directives_per_line_are_all_read(self):
+        table = suppressions_by_line(
+            "x = 1  # referlint: disable=REF001 # referlint: disable=REF004\n"
+        )
+        assert table[1] == {"REF001", "REF004"}
+
+    def test_unparsable_source_falls_back_to_raw_lines(self):
+        # A broken file still honours directives (it reports REF000
+        # anyway, but the table must not crash).
+        table = suppressions_by_line(
+            "def broken(:\n    pass  # referlint: disable=REF001\n"
+        )
+        assert table[2] == {"REF001"}
