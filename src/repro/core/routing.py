@@ -88,6 +88,9 @@ class ReferRouter:
         # set the actuator tier routes around.
         self._reliable_link = None
         self._healer = None
+        # QoS hook (repro.qos): hop-level backpressure state; congested
+        # successors are deprioritised like radio-backlogged ones.
+        self._qos_state = None
         # The DHT upper tier (Section III-B3): one CAN zone per cell,
         # keyed by the cell's normalised centroid.  Inter-cell messages
         # follow the CAN route through cell space; each cell hop is
@@ -121,9 +124,38 @@ class ReferRouter:
         actuator-keyed CAN route before the CID fallback."""
         self._healer = healer
 
+    def set_qos_state(self, state) -> None:
+        """Install a :class:`~repro.qos.backpressure.BackpressureState`:
+        successors it marks congested are deprioritised in favour of
+        the next Theorem 3.8 disjoint path — the upstream half of
+        hop-level backpressure."""
+        self._qos_state = state
+
     def note_retransmit_recovered(self) -> None:
         """ARQ callback: one hop was saved by a retransmission."""
         self.stats.retransmit_recovered += 1
+
+    def _qos_guard(self, on_dropped, retry):
+        """Wrap a hop-failure continuation to honour QoS verdicts.
+
+        A frame the QoS layer condemned (deadline expired, shed under
+        backpressure) fails its hop with ``meta["qos_terminal"]``
+        stamped; retrying it over the remaining disjoint paths would
+        only re-refuse it at every attempt, so the packet is dropped
+        terminally under its QoS reason instead.  Without a QoS
+        scheduler installed the continuation passes through untouched.
+        """
+        if self.network.mac.qos is None:
+            return retry
+
+        def guarded(pkt: Packet, at: int) -> None:
+            terminal = pkt.meta.get("qos_terminal")
+            if terminal is not None:
+                self._drop(pkt, on_dropped, terminal)
+                return
+            retry(pkt, at)
+
+        return guarded
 
     def _unicast(
         self,
@@ -383,7 +415,7 @@ class ReferRouter:
             relay,
             packet,
             on_delivered=relay_arrived,
-            on_failed=relay_failed,
+            on_failed=self._qos_guard(on_dropped, relay_failed),
             deliver_to_handler=False,
         )
 
@@ -477,7 +509,7 @@ class ReferRouter:
             member_id,
             packet,
             on_delivered=arrived,
-            on_failed=on_entry_failed,
+            on_failed=self._qos_guard(on_dropped, on_entry_failed),
             deliver_to_handler=is_final,
         )
 
@@ -524,11 +556,15 @@ class ReferRouter:
         # radio is backlogged is deprioritised in favour of the next
         # disjoint path; it stays in the list as a last resort.
         now = self.network.sim.now
+        qos_state = self._qos_state
         clear, congested = [], []
         for succ in candidates:
-            node = self.network.node(cell.node_of(succ))
+            succ_node = cell.node_of(succ)
+            node = self.network.node(succ_node)
             backlog = node.radio_busy_until - now
-            if backlog > self._congestion_threshold:
+            if backlog > self._congestion_threshold or (
+                qos_state is not None and qos_state.is_congested(succ_node)
+            ):
                 congested.append(succ)
             else:
                 clear.append(succ)
@@ -588,8 +624,11 @@ class ReferRouter:
                 member,
                 packet,
                 on_delivered=fb_arrived,
-                on_failed=lambda pkt, at: self._drop(
-                    pkt, on_dropped, "fallback-hop-failed"
+                on_failed=self._qos_guard(
+                    on_dropped,
+                    lambda pkt, at: self._drop(
+                        pkt, on_dropped, "fallback-hop-failed"
+                    ),
                 ),
                 deliver_to_handler=is_dest,
             )
@@ -631,7 +670,7 @@ class ReferRouter:
             succ_node,
             packet,
             on_delivered=arrived,
-            on_failed=failed,
+            on_failed=self._qos_guard(on_dropped, failed),
             deliver_to_handler=is_final,
         )
 
@@ -675,8 +714,9 @@ class ReferRouter:
             nxt,
             packet,
             on_delivered=arrived,
-            on_failed=lambda pkt, at: self._drop(
-                pkt, on_dropped, "tier-hop-failed"
+            on_failed=self._qos_guard(
+                on_dropped,
+                lambda pkt, at: self._drop(pkt, on_dropped, "tier-hop-failed"),
             ),
             deliver_to_handler=False,
         )

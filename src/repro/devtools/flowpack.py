@@ -35,6 +35,7 @@ SIM_SCOPED_DIRS = (
     "chaos",
     "recovery",
     "telemetry",
+    "qos",
 )
 
 #: Protocol packages whose objects are "sim objects" for REF010.
@@ -48,6 +49,7 @@ PROTOCOL_DIRS = (
     "kautz",
     "dht",
     "baselines",
+    "qos",
 )
 
 

@@ -297,7 +297,7 @@ class NoPrintInProtocolCode(Rule):
         return not ctx.is_test_file and (
             ctx.in_directory(
                 "sim", "net", "core", "wsan", "chaos", "recovery",
-                "kautz", "dht", "baselines", "telemetry",
+                "kautz", "dht", "baselines", "telemetry", "qos",
             )
             or ctx.path.endswith("devtools/cover.py")
         )

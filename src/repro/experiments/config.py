@@ -18,6 +18,7 @@ from typing import Optional, Tuple
 
 from repro.chaos.spec import FaultSpec
 from repro.errors import ConfigError
+from repro.qos.config import BurstyConfig, QosConfig
 from repro.recovery.config import RecoveryConfig
 from repro.telemetry.config import TelemetryConfig
 
@@ -69,6 +70,15 @@ class ScenarioConfig:
     #: default) disables observation; the run's numbers are identical
     #: either way (the determinism test pins this).
     telemetry: Optional[TelemetryConfig] = None
+    #: QoS / overload robustness (:mod:`repro.qos`): traffic classes,
+    #: priority MAC queueing with deadline-drop, source admission
+    #: control and hop-level backpressure.  ``None`` (the default)
+    #: keeps the legacy flow byte-identical.
+    qos: Optional[QosConfig] = None
+    #: Bursty heavy-tailed workload replacing :class:`CbrWorkload`
+    #: (:class:`~repro.experiments.workload.BurstyWorkload`).  ``None``
+    #: (the default) keeps the CBR workload.
+    bursty: Optional[BurstyConfig] = None
     kautz_degree: int = 2            # REFER cell K(d, 3)
     #: Serve neighbour queries from the spatial hash grid
     #: (:mod:`repro.net.spatial`).  Off = brute-force scan; results are
@@ -100,6 +110,12 @@ class ScenarioConfig:
             self.telemetry, TelemetryConfig
         ):
             raise ConfigError("telemetry must be a TelemetryConfig or None")
+        if self.qos is not None and not isinstance(self.qos, QosConfig):
+            raise ConfigError("qos must be a QosConfig or None")
+        if self.bursty is not None and not isinstance(
+            self.bursty, BurstyConfig
+        ):
+            raise ConfigError("bursty must be a BurstyConfig or None")
 
     @property
     def end_time(self) -> float:

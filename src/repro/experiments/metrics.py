@@ -11,7 +11,8 @@ Only packets *created* after the warm-up window count.
 
 from __future__ import annotations
 
-from typing import Optional
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
 
 from repro.chaos.probe import ResilienceProbe
 from repro.net.packet import Packet
@@ -27,6 +28,39 @@ _LATENCY_BUCKETS = (
     0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.2, 0.4, 0.6,
     1.0, 2.0, 5.0,
 )
+
+#: Report/export order of the QoS traffic classes.
+_CLASS_ORDER = ("alarm", "control", "bulk")
+
+
+@dataclass(frozen=True)
+class ClassStat:
+    """Measured-window funnel of one QoS traffic class."""
+
+    traffic_class: str
+    generated: int
+    delivered: int
+    deadline_missed: int
+    dropped: int
+
+    @property
+    def delivered_in_deadline(self) -> int:
+        """Deliveries that met the packet's own class deadline."""
+        return self.delivered - self.deadline_missed
+
+    @property
+    def delivery_ratio(self) -> float:
+        """In-deadline deliveries over generated (the QoS headline)."""
+        if self.generated == 0:
+            return 0.0
+        return self.delivered_in_deadline / self.generated
+
+    @property
+    def deadline_miss_rate(self) -> float:
+        """Fraction of *delivered* packets that arrived too late."""
+        if self.delivered == 0:
+            return 0.0
+        return self.deadline_missed / self.delivered
 
 
 class MetricsCollector:
@@ -68,6 +102,14 @@ class MetricsCollector:
         self._delivered_ctr = None
         self._dropped_family = None
         self._latency_hist = None
+        # Per-traffic-class funnel (measured window): class ->
+        # [generated, delivered, deadline_missed, dropped].  Registry
+        # families are created lazily on the first *marked* packet, so
+        # runs without QoS traffic export exactly the metrics they
+        # always did.
+        self._registry = registry
+        self._class_counts: Dict[str, List[int]] = {}
+        self._class_families: Dict[str, object] = {}
         if registry is not None:
             self._generated_ctr = registry.counter(
                 "packets_generated", "workload packets created (all, incl. warm-up)"
@@ -89,6 +131,37 @@ class MetricsCollector:
     def _measured(self, packet: Packet) -> bool:
         return packet.created_at >= self._warmup_end
 
+    # -- per-class funnel ----------------------------------------------------
+
+    def _class_slot(self, traffic_class: str) -> List[int]:
+        slot = self._class_counts.get(traffic_class)
+        if slot is None:
+            slot = self._class_counts[traffic_class] = [0, 0, 0, 0]
+        return slot
+
+    def _class_family(self, which: str):
+        family = self._class_families.get(which)
+        if family is None:
+            labels = ("class", "reason") if which == "dropped" else ("class",)
+            family = self._registry.counter(
+                f"qos_class_{which}",
+                f"QoS-marked packets {which}, by traffic class (all)",
+                labels=labels,
+            )
+            self._class_families[which] = family
+        return family
+
+    def class_stats(self) -> Tuple[ClassStat, ...]:
+        """Measured-window per-class funnels, in class priority order.
+
+        Empty when the workload emitted no QoS-marked traffic.
+        """
+        return tuple(
+            ClassStat(cls, *self._class_counts[cls])
+            for cls in _CLASS_ORDER
+            if cls in self._class_counts
+        )
+
     def on_generated(self, packet: Packet) -> None:
         if self._probe is not None:
             self._probe.on_generated(packet)
@@ -101,6 +174,12 @@ class MetricsCollector:
             )
         if self._measured(packet):
             self.generated += 1
+        cls = packet.traffic_class
+        if cls is not None:
+            if self._registry is not None:
+                self._class_family("generated").child(cls).inc()
+            if self._measured(packet):
+                self._class_slot(cls)[0] += 1
 
     def on_delivered(self, packet: Packet) -> None:
         if self._probe is not None:
@@ -114,6 +193,20 @@ class MetricsCollector:
                 packet.uid, self._sim.now, packet.destination,
                 tuple(packet.hops),
             )
+        cls = packet.traffic_class
+        if cls is not None:
+            missed = (
+                packet.deadline is not None and latency > packet.deadline
+            )
+            if self._registry is not None:
+                self._class_family("delivered").child(cls).inc()
+                if missed:
+                    self._class_family("deadline_missed").child(cls).inc()
+            if self._measured(packet):
+                slot = self._class_slot(cls)
+                slot[1] += 1
+                if missed:
+                    slot[2] += 1
         if not self._measured(packet):
             return
         self.delivered_total += 1
@@ -133,6 +226,12 @@ class MetricsCollector:
             self._flight.dropped(packet.uid, self._sim.now, reason)
         if self._measured(packet):
             self.dropped += 1
+        cls = packet.traffic_class
+        if cls is not None:
+            if self._registry is not None:
+                self._class_family("dropped").child(cls, reason).inc()
+            if self._measured(packet):
+                self._class_slot(cls)[3] += 1
 
     # -- summaries ----------------------------------------------------------
 

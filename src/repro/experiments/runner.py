@@ -25,10 +25,11 @@ from repro.chaos import (
 from repro.core.system import ReferSystem
 from repro.errors import ConfigError
 from repro.experiments.config import ScenarioConfig
-from repro.experiments.metrics import MetricsCollector
-from repro.experiments.workload import CbrWorkload
+from repro.experiments.metrics import ClassStat, MetricsCollector
+from repro.experiments.workload import BurstyWorkload, CbrWorkload
 from repro.net.energy import Phase
 from repro.net.network import WirelessNetwork
+from repro.qos import QosManager
 from repro.recovery import RecoveryOrchestrator, RecoveryReport
 from repro.sim.core import Simulator
 from repro.telemetry.config import Telemetry
@@ -74,6 +75,9 @@ class RunResult:
     #: Live telemetry bundle (registry + flight recorder + profiler);
     #: populated only when the config carries a ``telemetry`` block.
     telemetry: Optional[Telemetry] = None
+    #: Per-traffic-class delivery/deadline funnels (measured window);
+    #: empty unless the workload emitted QoS-marked packets.
+    class_stats: Tuple[ClassStat, ...] = ()
 
     @property
     def total_energy_j(self) -> float:
@@ -137,6 +141,18 @@ def run_scenario(system_name: str, config: ScenarioConfig) -> RunResult:
     network.set_phase(Phase.COMMUNICATION)
     system.start()
 
+    qos_manager: Optional[QosManager] = None
+    if config.qos is not None and config.qos.any_enabled:
+        qos_manager = QosManager(sim, network, config.qos)
+        qos_manager.install(network)
+        qos_router = getattr(system, "router", None)
+        if (
+            qos_manager.state is not None
+            and qos_router is not None
+            and hasattr(qos_router, "set_qos_state")
+        ):
+            qos_router.set_qos_state(qos_manager.state)
+
     probe: Optional[ResilienceProbe] = None
     if config.fault_spec:
         probe = ResilienceProbe(
@@ -150,17 +166,30 @@ def run_scenario(system_name: str, config: ScenarioConfig) -> RunResult:
         registry=network.registry,
         flight=network.flight,
     )
-    workload = CbrWorkload(
-        sim,
-        system,
-        metrics,
-        streams.stream("workload"),
-        rate_pps=config.rate_pps,
-        packet_bytes=config.packet_bytes,
-        qos_deadline=config.qos_deadline,
-        sources_per_window=config.sources_per_window,
-        source_window=config.source_window,
-    )
+    if config.bursty is not None:
+        workload = BurstyWorkload(
+            sim,
+            system,
+            metrics,
+            streams.stream("qos.workload"),
+            config=config.bursty,
+            packet_bytes=config.packet_bytes,
+            admission=(
+                qos_manager.admission if qos_manager is not None else None
+            ),
+        )
+    else:
+        workload = CbrWorkload(
+            sim,
+            system,
+            metrics,
+            streams.stream("workload"),
+            rate_pps=config.rate_pps,
+            packet_bytes=config.packet_bytes,
+            qos_deadline=config.qos_deadline,
+            sources_per_window=config.sources_per_window,
+            source_window=config.source_window,
+        )
     workload.start(0.0, config.end_time)
 
     # The legacy crash-rotation path (``config.faults``) now runs on
@@ -257,6 +286,7 @@ def run_scenario(system_name: str, config: ScenarioConfig) -> RunResult:
         fault_events=fault_events,
         recovery=recovery_report,
         telemetry=telemetry,
+        class_stats=metrics.class_stats(),
     )
 
 

@@ -61,6 +61,10 @@ class ContentionMac:
         # transmission reports its frame attempts as bytes on air.
         # Observation only — it must never touch the RNG or timing.
         self.profiler = None
+        # QoS hook (repro.qos.mac.MacQosScheduler): when set, frames
+        # pass through a per-node priority queue with deadline-drop
+        # and bounded per-class depth before reaching the radio.
+        self.qos = None
 
     def _loss_probability(self, src_id: int, now: float) -> float:
         contention = self._medium.contention_at(src_id, now)
@@ -83,6 +87,30 @@ class ContentionMac:
         destination is *reachable* is the caller's concern (checked at
         the network layer at the moment of transmission); this layer
         models only timing and stochastic loss.
+
+        With a QoS scheduler installed the frame is queued by traffic
+        class instead of hitting the radio immediately; the scheduler
+        calls back into :meth:`service_frame` when the frame wins
+        service.
+        """
+        if self.qos is not None:
+            self.qos.submit(src_id, dst_id, packet, on_result)
+            return
+        self.service_frame(src_id, dst_id, packet, on_result)
+
+    def service_frame(
+        self,
+        src_id: int,
+        dst_id: int,
+        packet: Packet,
+        on_result: Callable[[bool, float], None],
+    ) -> float:
+        """Put one frame on the air now; returns when the radio frees.
+
+        This is the legacy ``transmit`` body: contention model, random
+        backoff, bounded retries.  The return value (the sender's
+        ``radio_busy_until``) lets the QoS scheduler serve its queue
+        frame-by-frame.
         """
         cfg = self.config
         src = self._medium.node(src_id)
@@ -109,6 +137,7 @@ class ContentionMac:
         self._sim.schedule(
             completion - now, lambda: on_result(success, completion)
         )
+        return src.radio_busy_until
 
     def broadcast_airtime(self, size_bytes: int) -> float:
         """Occupancy of a single broadcast frame (no retries, no ACK)."""

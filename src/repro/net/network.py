@@ -181,6 +181,18 @@ class WirelessNetwork:
             self._fail(packet, src_id, on_failed, delay=0.0,
                        cause="src-unusable")
             return
+        qos = self.mac.qos
+        if qos is not None:
+            # QoS admission at the hop, before any energy is charged:
+            # an expired, shed, or queue-refused frame costs nothing.
+            refusal = qos.refusal(src_id, dst_id, packet, now)
+            if refusal is not None:
+                packet.meta["drop_reason"] = refusal
+                packet.meta["qos_terminal"] = refusal
+                if flight is not None:
+                    flight.hop_fail(packet.uid, now, src_id, dst_id, refusal)
+                self._fail(packet, src_id, on_failed, delay=0.0, cause=refusal)
+                return
         packet.record_hop(src_id)
         if flight is not None:
             flight.hop_tx(
@@ -203,6 +215,11 @@ class WirelessNetwork:
         def complete(success: bool, at: float) -> None:
             if not success or not self.medium.node(dst_id).usable:
                 cause = "mac-loss" if not success else "dst-unusable"
+                # A frame the QoS scheduler condemned (expired while
+                # queued) surfaces as a MAC failure; keep its reason.
+                terminal = packet.meta.get("qos_terminal")
+                if terminal is not None:
+                    cause = terminal
                 self.trace.record(at, "mac_drop", f"{src_id}->{dst_id}")
                 if flight is not None:
                     flight.hop_fail(packet.uid, at, src_id, dst_id, cause)

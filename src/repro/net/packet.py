@@ -15,6 +15,10 @@ from typing import Any, Dict, List, Optional
 
 _uid_counter = itertools.count(1)
 
+#: Meta keys that describe one transmission attempt's fate, not the
+#: application payload — a retransmit clone must not inherit them.
+_TRANSIENT_META = frozenset({"drop_reason", "qos_terminal"})
+
 
 class PacketKind(enum.Enum):
     """Traffic classes, used for energy/metric attribution."""
@@ -40,6 +44,10 @@ class Packet:
     deadline: Optional[float] = None
     hops: List[int] = field(default_factory=list)
     meta: Dict[str, Any] = field(default_factory=dict)
+    #: QoS traffic-class mark (a :class:`repro.qos.TrafficClass` value
+    #: string — "alarm" / "control" / "bulk").  None means unmarked;
+    #: the QoS layer then classifies by :attr:`kind`.
+    traffic_class: Optional[str] = None
 
     @property
     def hop_count(self) -> int:
@@ -72,5 +80,9 @@ class Packet:
             destination=self.destination,
             created_at=self.created_at,
             deadline=self.deadline,
-            meta=dict(self.meta),
+            meta={
+                k: v for k, v in self.meta.items()
+                if k not in _TRANSIENT_META
+            },
+            traffic_class=self.traffic_class,
         )

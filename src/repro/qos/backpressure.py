@@ -1,0 +1,59 @@
+"""Hop-level backpressure: congestion marks with hysteresis.
+
+A node whose MAC priority queue reaches the high-water mark is marked
+*congested*; the mark clears once the queue drains to the low-water
+mark.  The shared :class:`BackpressureState` models the one-hop
+congestion signal of the paper's real deployment (an explicit bit in
+the link-layer header): upstream nodes consult it before committing a
+bulk frame toward a congested next hop — shedding it or detouring via
+the Kautz disjoint paths — and traffic sources throttle their bulk
+token buckets while any mark is raised.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Set
+
+from repro.qos.stats import QosStats
+
+__all__ = ["BackpressureState"]
+
+
+class BackpressureState:
+    """Congested-node marks, maintained by the MAC queue scheduler."""
+
+    def __init__(
+        self,
+        high_water: int,
+        low_water: int,
+        stats: Optional[QosStats] = None,
+    ) -> None:
+        self._high = high_water
+        self._low = low_water
+        self._stats = stats
+        self._congested: Set[int] = set()
+
+    def note_depth(self, node_id: int, depth: int) -> None:
+        """Record a node's current queue depth (drives the marks)."""
+        if depth >= self._high:
+            if node_id not in self._congested:
+                self._congested.add(node_id)
+                if self._stats is not None:
+                    self._stats.congestion_onsets += 1
+        elif depth <= self._low and node_id in self._congested:
+            self._congested.discard(node_id)
+            if self._stats is not None:
+                self._stats.congestion_clears += 1
+
+    def is_congested(self, node_id: int) -> bool:
+        """Whether the node currently signals congestion upstream."""
+        return node_id in self._congested
+
+    def any_congested(self) -> bool:
+        """Whether any node in the network signals congestion."""
+        return bool(self._congested)
+
+    @property
+    def congested_count(self) -> int:
+        """Number of nodes currently marked congested."""
+        return len(self._congested)

@@ -1,0 +1,95 @@
+"""Bounded per-class priority queue in front of a node's MAC.
+
+One :class:`PriorityFrameQueue` per transmitting node: three bounded
+FIFO lanes, one per :class:`~repro.qos.classes.TrafficClass`, served
+in strict priority order.  Frames that pass their deadline while
+queued are surfaced by :meth:`PriorityFrameQueue.pop_live` so the
+scheduler can drop them (``deadline_expired``) without spending
+airtime on them.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Deque, Dict, List, Optional, Tuple
+
+from repro.net.packet import Packet
+from repro.qos.classes import PRIORITY_ORDER, TrafficClass
+
+__all__ = ["QueuedFrame", "PriorityFrameQueue"]
+
+
+class QueuedFrame:
+    """One frame waiting for service (a deferred MAC transmission)."""
+
+    __slots__ = ("src", "dst", "packet", "on_result", "traffic_class", "expiry")
+
+    def __init__(
+        self,
+        src: int,
+        dst: int,
+        packet: Packet,
+        on_result: Callable[[bool, float], None],
+        traffic_class: TrafficClass,
+        expiry: Optional[float],
+    ) -> None:
+        self.src = src
+        self.dst = dst
+        self.packet = packet
+        self.on_result = on_result
+        self.traffic_class = traffic_class
+        self.expiry = expiry
+
+
+class PriorityFrameQueue:
+    """Strict-priority, per-class-bounded frame queue for one node."""
+
+    def __init__(self, depths: Dict[TrafficClass, int]) -> None:
+        self._lanes: Dict[TrafficClass, Deque[QueuedFrame]] = {
+            cls: deque() for cls in PRIORITY_ORDER
+        }
+        self._depths = dict(depths)
+
+    @property
+    def depth(self) -> int:
+        """Total frames waiting across all lanes."""
+        return sum(len(lane) for lane in self._lanes.values())
+
+    def lane_depth(self, traffic_class: TrafficClass) -> int:
+        """Frames waiting in one class lane."""
+        return len(self._lanes[traffic_class])
+
+    def lane_full(self, traffic_class: TrafficClass) -> bool:
+        """Whether the class lane is at its bounded depth."""
+        lane = self._lanes[traffic_class]
+        return len(lane) >= self._depths[traffic_class]
+
+    def offer(self, frame: QueuedFrame) -> bool:
+        """Enqueue ``frame``; False when its class lane is full."""
+        lane = self._lanes[frame.traffic_class]
+        if len(lane) >= self._depths[frame.traffic_class]:
+            return False
+        lane.append(frame)
+        return True
+
+    def pop_live(
+        self, now: float
+    ) -> Tuple[Optional[QueuedFrame], List[QueuedFrame]]:
+        """Pop the highest-priority unexpired frame.
+
+        Returns ``(frame, expired)`` where ``expired`` lists every
+        frame skipped over because its deadline passed while it sat in
+        the queue (in the order they would have been served).  When
+        only expired frames remain, ``frame`` is None and they are all
+        drained.
+        """
+        expired: List[QueuedFrame] = []
+        for cls in PRIORITY_ORDER:
+            lane = self._lanes[cls]
+            while lane:
+                frame = lane.popleft()
+                if frame.expiry is not None and now > frame.expiry:
+                    expired.append(frame)
+                    continue
+                return frame, expired
+        return None, expired

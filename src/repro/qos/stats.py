@@ -1,0 +1,24 @@
+"""Counters shared by the QoS mechanisms (a registry stats view)."""
+
+from __future__ import annotations
+
+from repro.telemetry.views import StatsView, counter_field
+
+__all__ = ["QosStats"]
+
+
+class QosStats(StatsView):
+    """Aggregate QoS activity, registered under the ``qos_`` prefix."""
+
+    _group = "qos"
+
+    admitted = counter_field("source emissions passed by admission control")
+    admission_rejected = counter_field("source emissions refused a token")
+    frames_queued = counter_field("frames accepted into a MAC priority queue")
+    frames_served = counter_field("frames handed to the MAC for airtime")
+    deadline_drops = counter_field("frames dropped past their deadline")
+    backpressure_sheds = counter_field(
+        "frames shed at a hop (full lane or congested next hop)"
+    )
+    congestion_onsets = counter_field("queue crossings of the high-water mark")
+    congestion_clears = counter_field("queue drains below the low-water mark")

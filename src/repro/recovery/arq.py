@@ -251,6 +251,14 @@ class ArqLink:
     ) -> None:
         if hop.done:
             return
+        if packet.meta.get("qos_terminal") is not None:
+            # The QoS layer condemned this frame (deadline expired or
+            # shed under backpressure): every retransmission would be
+            # refused the same way, so surface the failure immediately.
+            hop.done = True
+            if not hop.delivered and on_failed is not None:
+                on_failed(packet, src_id)
+            return
         if attempt >= self._budget:
             hop.done = True
             self.stats.exhausted += 1

@@ -39,12 +39,18 @@ DROP_REASONS: Tuple[str, ...] = (
     "tier-stall",          # no reachable next actuator on the CAN tier
     "tier-hop-failed",     # an inter-cell actuator hop failed
     "path-hop-failed",     # a fixed-path relay hop failed (baselines)
+    "deadline_expired",    # QoS: frame outlived its class deadline
+    "admission_rejected",  # QoS: source token bucket refused the packet
+    "backpressure_shed",   # QoS: full lane / congested next hop
     "unknown",
 )
 
-#: Hop-level failure causes recorded by the network layer.
+#: Hop-level failure causes recorded by the network layer.  The QoS
+#: scheduler's refusals surface as hop failures too, carrying their
+#: drop reason as the cause.
 HOP_FAIL_CAUSES: Tuple[str, ...] = (
     "src-unusable", "link-break", "mac-loss", "dst-unusable",
+    "deadline_expired", "backpressure_shed",
 )
 
 

@@ -5,6 +5,8 @@ scenario with telemetry enabled and renders:
 
 * the **delivery/QoS funnel** — generated → delivered → within
   deadline, with throughput, delay and the drop count;
+* the **per-class funnel** (QoS runs) — alarm/control/bulk delivery
+  ratios, deadline misses and drops from ``RunResult.class_stats``;
 * the **top drop reasons** — the router's drop-reason taxonomy, from
   the registry (all drops) and the flight recorder (retained journeys);
 * the **energy breakdown** — joules by phase and by traffic kind;
@@ -53,6 +55,26 @@ def _funnel_section(result) -> List[str]:
     lines.append(_fmt_row("dropped", str(result.dropped)))
     lines.append(_fmt_row("throughput", f"{result.throughput_bps:,.0f} bit/s"))
     lines.append(_fmt_row("mean QoS delay", f"{result.mean_delay_s * 1e3:.1f} ms"))
+    return lines
+
+
+def _class_section(result) -> List[str]:
+    """Per-traffic-class funnel (QoS runs only; empty otherwise)."""
+    stats = getattr(result, "class_stats", ())
+    if not stats:
+        return []
+    lines = ["per-class delivery / deadline funnel", _RULE]
+    for stat in stats:
+        lines.append(
+            f"  {stat.traffic_class:<10} generated {stat.generated:>7}  "
+            f"in-deadline {stat.delivered_in_deadline:>7}  "
+            f"{_bar(stat.delivery_ratio)} {stat.delivery_ratio:6.1%}"
+        )
+        lines.append(
+            f"  {'':<10} late {stat.deadline_missed:>12}  "
+            f"dropped {stat.dropped:>11}  "
+            f"miss-rate {stat.deadline_miss_rate:6.1%}"
+        )
     return lines
 
 
@@ -188,10 +210,17 @@ def render(result) -> str:
     sections: List[List[str]] = [
         [header, "=" * 64],
         _funnel_section(result),
-        _drop_section(result),
-        _energy_section(result),
-        _timeline_section(result),
     ]
+    class_block = _class_section(result)
+    if class_block:
+        sections.append(class_block)
+    sections.extend(
+        [
+            _drop_section(result),
+            _energy_section(result),
+            _timeline_section(result),
+        ]
+    )
     profile = _profiler_section(result)
     if profile:
         sections.append(profile)
@@ -220,6 +249,18 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         help="enable the self-healing recovery stack (REFER only)",
     )
     parser.add_argument(
+        "--qos", action="store_true",
+        help="enable the QoS stack (priority MAC, admission, backpressure)",
+    )
+    parser.add_argument(
+        "--bursty", type=int, default=0, metavar="SOURCES",
+        help="use the bursty heavy-tailed workload with SOURCES sources",
+    )
+    parser.add_argument(
+        "--load", type=float, default=1.0, metavar="MULT",
+        help="offered-load multiplier for the bursty workload",
+    )
+    parser.add_argument(
         "--wall", action="store_true",
         help="collect wall-clock hotspots (report-only, nondeterministic)",
     )
@@ -231,6 +272,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     from repro.chaos.spec import FaultSpec
     from repro.experiments.config import ScenarioConfig
     from repro.experiments.runner import run_scenario
+    from repro.qos.config import BurstyConfig, QosConfig
     from repro.recovery.config import RecoveryConfig
     from repro.telemetry.config import TelemetryConfig
     from repro.telemetry.export import (
@@ -252,6 +294,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         ),
         recovery=RecoveryConfig() if args.recovery else None,
         telemetry=TelemetryConfig(wall_clock=args.wall),
+        qos=QosConfig() if args.qos else None,
+        bursty=(
+            BurstyConfig(sources=args.bursty, load_multiplier=args.load)
+            if args.bursty > 0 else None
+        ),
     )
     result = run_scenario(args.system, config)
     # This *is* the report CLI — rendering to stdout is its contract.

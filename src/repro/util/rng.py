@@ -34,6 +34,7 @@ KNOWN_STREAM_NAMES = frozenset(
         "chaos.*",  # per-fault-injector family: "chaos.<index>.<kind>"
         "recovery.detector",
         "recovery.arq",
+        "qos.*",  # QoS subsystem family: "qos.workload" (bursty driver)
     }
 )
 

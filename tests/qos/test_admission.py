@@ -1,0 +1,130 @@
+"""Unit tests for token buckets, admission control and backpressure."""
+
+from repro.net.packet import Packet, PacketKind
+from repro.qos import (
+    AdmissionController,
+    BackpressureState,
+    QosConfig,
+    QosStats,
+    TokenBucket,
+    TrafficClass,
+)
+
+
+def _packet(cls):
+    return Packet(
+        kind=PacketKind.DATA,
+        size_bytes=100,
+        source=1,
+        destination=None,
+        created_at=0.0,
+        traffic_class=cls.value,
+    )
+
+
+class TestTokenBucket:
+    def test_burst_then_starve(self):
+        bucket = TokenBucket(rate=1.0, burst=3.0)
+        taken = [bucket.try_take(0.0) for _ in range(4)]
+        assert taken == [True, True, True, False]
+
+    def test_refills_with_time(self):
+        bucket = TokenBucket(rate=2.0, burst=2.0)
+        for _ in range(2):
+            assert bucket.try_take(0.0)
+        assert not bucket.try_take(0.0)
+        assert bucket.try_take(0.5)   # 0.5s * 2/s = 1 token back
+
+    def test_refill_caps_at_burst(self):
+        bucket = TokenBucket(rate=10.0, burst=2.0)
+        assert bucket.try_take(100.0)
+        assert bucket.try_take(100.0)
+        assert not bucket.try_take(100.0)
+
+    def test_scale_throttles_the_refill(self):
+        bucket = TokenBucket(rate=4.0, burst=1.0)
+        assert bucket.try_take(0.0)
+        # Unscaled, 0.25s would refill a full token; at 0.25x it
+        # refills only a quarter of one.
+        assert not bucket.try_take(0.25, scale=0.25)
+        assert bucket.try_take(1.0, scale=0.25)
+
+
+class TestBackpressureState:
+    def test_hysteresis_marks_and_clears(self):
+        state = BackpressureState(high_water=4, low_water=1)
+        state.note_depth(7, 3)
+        assert not state.is_congested(7)
+        state.note_depth(7, 4)
+        assert state.is_congested(7)
+        assert state.any_congested()
+        # Between the marks: stays congested (hysteresis).
+        state.note_depth(7, 2)
+        assert state.is_congested(7)
+        state.note_depth(7, 1)
+        assert not state.is_congested(7)
+        assert not state.any_congested()
+
+    def test_onsets_and_clears_are_counted_once(self):
+        stats = QosStats()
+        state = BackpressureState(high_water=2, low_water=0, stats=stats)
+        state.note_depth(1, 5)
+        state.note_depth(1, 6)   # still congested: no second onset
+        state.note_depth(1, 0)
+        assert stats.congestion_onsets == 1
+        assert stats.congestion_clears == 1
+        assert state.congested_count == 0
+
+
+class TestAdmissionController:
+    def _controller(self, state=None, **overrides):
+        config = QosConfig(
+            bulk_bucket_rate=2.0, bulk_bucket_burst=2.0, **overrides
+        )
+        stats = QosStats()
+        return AdmissionController(config, state, stats), stats
+
+    def test_alarm_is_never_policed(self):
+        controller, stats = self._controller()
+        for _ in range(50):
+            assert controller.admit(1, _packet(TrafficClass.ALARM), 0.0) is None
+        assert stats.admitted == 50
+        assert stats.admission_rejected == 0
+
+    def test_bulk_is_policed_at_the_bucket(self):
+        controller, stats = self._controller()
+        verdicts = [
+            controller.admit(1, _packet(TrafficClass.BULK), 0.0)
+            for _ in range(3)
+        ]
+        assert verdicts == [None, None, "admission_rejected"]
+        assert stats.admission_rejected == 1
+
+    def test_buckets_are_per_source(self):
+        controller, _ = self._controller()
+        for _ in range(2):
+            assert controller.admit(1, _packet(TrafficClass.BULK), 0.0) is None
+        # Source 1 exhausted; source 2's bucket is untouched.
+        assert controller.admit(1, _packet(TrafficClass.BULK), 0.0) is not None
+        assert controller.admit(2, _packet(TrafficClass.BULK), 0.0) is None
+
+    def test_control_bucket_is_scaled_up(self):
+        controller, _ = self._controller(control_bucket_scale=4.0)
+        admitted = sum(
+            controller.admit(1, _packet(TrafficClass.CONTROL), 0.0) is None
+            for _ in range(20)
+        )
+        assert admitted == 8   # burst 2.0 * scale 4.0
+
+    def test_congestion_throttles_bulk_refill(self):
+        state = BackpressureState(high_water=2, low_water=0)
+        controller, _ = self._controller(state=state, throttle_factor=0.25)
+        for _ in range(2):
+            assert controller.admit(1, _packet(TrafficClass.BULK), 0.0) is None
+        state.note_depth(9, 5)   # congestion anywhere throttles sources
+        # 0.5s at rate 2/s would refill a token; at 0.25x it does not.
+        assert (
+            controller.admit(1, _packet(TrafficClass.BULK), 0.5) is not None
+        )
+        state.note_depth(9, 0)
+        assert controller.admit(1, _packet(TrafficClass.BULK), 2.5) is None

@@ -1,0 +1,189 @@
+"""Unit tests for the priority MAC scheduler (queue -> radio)."""
+
+from repro.net.packet import Packet, PacketKind
+from repro.qos import (
+    BackpressureState,
+    MacQosScheduler,
+    QosConfig,
+    QosStats,
+    TrafficClass,
+)
+from repro.sim.core import Simulator
+
+
+class RecordingMac:
+    """Stand-in MAC: serves every frame in a fixed airtime."""
+
+    def __init__(self, sim, airtime=0.1):
+        self._sim = sim
+        self._airtime = airtime
+        self.served = []
+
+    def service_frame(self, src_id, dst_id, packet, on_result):
+        self.served.append(packet)
+        done = self._sim.now + self._airtime
+        self._sim.schedule(self._airtime, lambda: on_result(True, done))
+        return done
+
+
+def _scheduler(sim, mac=None, state=None, **overrides):
+    config = QosConfig(**overrides)
+    stats = QosStats()
+    mac = mac if mac is not None else RecordingMac(sim)
+    return MacQosScheduler(sim, mac, config, state, stats), mac, stats
+
+
+def _packet(cls, deadline=None, created_at=0.0):
+    return Packet(
+        kind=PacketKind.DATA,
+        size_bytes=100,
+        source=1,
+        destination=2,
+        created_at=created_at,
+        deadline=deadline,
+        traffic_class=cls.value,
+    )
+
+
+def _sink(results):
+    return lambda ok, now: results.append((ok, now))
+
+
+class TestServiceOrder:
+    def test_one_frame_is_served_immediately(self):
+        sim = Simulator()
+        scheduler, mac, stats = _scheduler(sim)
+        results = []
+        scheduler.submit(1, 2, _packet(TrafficClass.BULK), _sink(results))
+        sim.run_until(1.0)
+        assert len(mac.served) == 1
+        assert results == [(True, 0.1)]
+        assert stats.frames_served == 1
+
+    def test_backlog_is_drained_in_priority_order(self):
+        sim = Simulator()
+        scheduler, mac, _ = _scheduler(sim)
+        order = []
+
+        def emit():
+            # First submit occupies the radio; the rest queue behind it
+            # and must come out alarm -> control -> bulk.
+            scheduler.submit(
+                1, 2, _packet(TrafficClass.BULK), lambda ok, now: None
+            )
+            for cls in (
+                TrafficClass.BULK,
+                TrafficClass.CONTROL,
+                TrafficClass.ALARM,
+            ):
+                packet = _packet(cls)
+                scheduler.submit(
+                    1, 2, packet,
+                    lambda ok, now, c=cls: order.append(c),
+                )
+
+        sim.schedule(0.0, emit)
+        sim.run_until(2.0)
+        assert order == [
+            TrafficClass.ALARM, TrafficClass.CONTROL, TrafficClass.BULK
+        ]
+        assert len(mac.served) == 4
+
+    def test_nodes_are_served_independently(self):
+        sim = Simulator()
+        scheduler, mac, _ = _scheduler(sim)
+        scheduler.submit(1, 2, _packet(TrafficClass.BULK), lambda *a: None)
+        scheduler.submit(3, 4, _packet(TrafficClass.BULK), lambda *a: None)
+        # Both heads serve at t=0: per-node queues, one radio each.
+        assert len(mac.served) == 2
+
+
+class TestDeadlineDrop:
+    def test_frame_expiring_in_queue_is_dropped_without_airtime(self):
+        sim = Simulator()
+        scheduler, mac, stats = _scheduler(sim)
+        results = []
+
+        def emit():
+            scheduler.submit(
+                1, 2, _packet(TrafficClass.BULK), lambda *a: None
+            )
+            # Expires at t=0.05, before the radio frees at t=0.1.
+            scheduler.submit(
+                1, 2, _packet(TrafficClass.ALARM, deadline=0.05),
+                _sink(results),
+            )
+
+        sim.schedule(0.0, emit)
+        sim.run_until(2.0)
+        assert len(mac.served) == 1          # only the occupying frame
+        assert results and results[0][0] is False
+        assert stats.deadline_drops == 1
+
+    def test_expired_frame_is_stamped_terminal(self):
+        sim = Simulator()
+        scheduler, _, _ = _scheduler(sim)
+        doomed = _packet(TrafficClass.ALARM, deadline=0.05)
+        scheduler.submit(1, 2, _packet(TrafficClass.BULK), lambda *a: None)
+        scheduler.submit(1, 2, doomed, lambda *a: None)
+        sim.run_until(2.0)
+        assert doomed.meta["drop_reason"] == "deadline_expired"
+        assert doomed.meta["qos_terminal"] == "deadline_expired"
+
+
+class TestRefusal:
+    def test_expired_packet_is_refused_upfront(self):
+        sim = Simulator()
+        scheduler, _, stats = _scheduler(sim)
+        stale = _packet(TrafficClass.ALARM, deadline=0.1, created_at=0.0)
+        assert scheduler.refusal(1, 2, stale, now=0.5) == "deadline_expired"
+        assert stats.deadline_drops == 1
+
+    def test_bulk_into_congested_hop_is_shed(self):
+        sim = Simulator()
+        state = BackpressureState(high_water=2, low_water=0)
+        scheduler, _, stats = _scheduler(sim, state=state)
+        state.note_depth(2, 5)
+        bulk = _packet(TrafficClass.BULK)
+        alarm = _packet(TrafficClass.ALARM)
+        assert scheduler.refusal(1, 2, bulk, 0.0) == "backpressure_shed"
+        # Alarm and control push through congestion.
+        assert scheduler.refusal(1, 2, alarm, 0.0) is None
+        assert stats.backpressure_sheds == 1
+
+    def test_full_lane_is_shed(self):
+        sim = Simulator()
+        scheduler, _, _ = _scheduler(sim, bulk_queue_depth=1)
+        # Head occupies the radio; the next fills the depth-1 lane.
+        scheduler.submit(1, 2, _packet(TrafficClass.BULK), lambda *a: None)
+        scheduler.submit(1, 2, _packet(TrafficClass.BULK), lambda *a: None)
+        assert (
+            scheduler.refusal(1, 2, _packet(TrafficClass.BULK), 0.0)
+            == "backpressure_shed"
+        )
+        assert scheduler.refusal(1, 2, _packet(TrafficClass.ALARM), 0.0) is None
+
+    def test_accepted_frame_is_not_refused(self):
+        sim = Simulator()
+        scheduler, _, _ = _scheduler(sim)
+        assert scheduler.refusal(1, 2, _packet(TrafficClass.BULK), 0.0) is None
+
+
+class TestBackpressureSignal:
+    def test_queue_depth_drives_the_congestion_mark(self):
+        sim = Simulator()
+        state = BackpressureState(high_water=2, low_water=0)
+        scheduler, _, _ = _scheduler(sim, state=state, high_water=2, low_water=0)
+
+        def emit():
+            for _ in range(3):
+                scheduler.submit(
+                    1, 2, _packet(TrafficClass.BULK), lambda *a: None
+                )
+
+        sim.schedule(0.0, emit)
+        sim.run_until(0.15)   # one served, two queued -> mark raised
+        assert state.is_congested(1)
+        sim.run_until(5.0)    # drained -> mark cleared
+        assert not state.is_congested(1)
+        assert scheduler.queue_depth(1) == 0

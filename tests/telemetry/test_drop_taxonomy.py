@@ -1,0 +1,121 @@
+"""The drop-reason taxonomy is closed: no reason escapes DROP_REASONS.
+
+Walks the library's AST and collects every string literal that can end
+up in ``packet.meta["drop_reason"]``:
+
+* direct stamps — ``meta["drop_reason"] = "..."`` and the QoS twin
+  ``meta["qos_terminal"] = "..."``;
+* router drops — the reason argument of ``self._drop(...)`` calls;
+* QoS verdicts — string returns of the ``refusal``/``admit``
+  gatekeepers, which the network layer stamps verbatim.
+
+Any new drop site must either reuse a taxonomy entry or extend
+:data:`repro.telemetry.flight.DROP_REASONS` — this test is what makes
+that a hard invariant instead of a convention.
+"""
+
+import ast
+import pathlib
+
+from repro.telemetry.flight import DROP_REASONS, HOP_FAIL_CAUSES
+
+SRC_ROOT = pathlib.Path(__file__).resolve().parents[2] / "src" / "repro"
+
+#: Functions whose string return values the callers stamp as a drop
+#: reason (the QoS gatekeeper protocol).
+REASON_RETURNING = frozenset({"refusal", "admit"})
+
+META_KEYS = frozenset({"drop_reason", "qos_terminal"})
+
+
+def _const_str(node):
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return node.value
+    return None
+
+
+class _ReasonCollector(ast.NodeVisitor):
+    """Collects (reason, path, lineno) for every statically stamped reason."""
+
+    def __init__(self, path):
+        self.path = path
+        self.found = []
+        self._in_reason_fn = 0
+
+    def _note(self, value, node):
+        if value is not None:
+            self.found.append((value, self.path, node.lineno))
+
+    def visit_Assign(self, node):
+        for target in node.targets:
+            if (
+                isinstance(target, ast.Subscript)
+                and _const_str(target.slice) in META_KEYS
+            ):
+                self._note(_const_str(node.value), node)
+        self.generic_visit(node)
+
+    def visit_Call(self, node):
+        func = node.func
+        if isinstance(func, ast.Attribute) and func.attr == "_drop":
+            if len(node.args) >= 3:
+                self._note(_const_str(node.args[2]), node)
+            for keyword in node.keywords:
+                if keyword.arg == "reason":
+                    self._note(_const_str(keyword.value), node)
+        self.generic_visit(node)
+
+    def visit_FunctionDef(self, node):
+        inside = node.name in REASON_RETURNING
+        self._in_reason_fn += inside
+        self.generic_visit(node)
+        self._in_reason_fn -= inside
+
+    def visit_Return(self, node):
+        if self._in_reason_fn and node.value is not None:
+            self._note(_const_str(node.value), node)
+        self.generic_visit(node)
+
+
+def _collect_stamped_reasons():
+    found = []
+    for path in sorted(SRC_ROOT.rglob("*.py")):
+        tree = ast.parse(path.read_text(encoding="utf-8"), filename=str(path))
+        collector = _ReasonCollector(path.relative_to(SRC_ROOT))
+        collector.visit(tree)
+        found.extend(collector.found)
+    return found
+
+
+class TestDropTaxonomy:
+    def test_every_stamped_reason_is_in_the_taxonomy(self):
+        stamped = _collect_stamped_reasons()
+        assert stamped, "the AST scan found no drop sites — broken scan?"
+        strays = [
+            f"{path}:{line}: {reason!r}"
+            for reason, path, line in stamped
+            if reason not in DROP_REASONS
+        ]
+        assert not strays, (
+            "drop reasons outside DROP_REASONS:\n" + "\n".join(strays)
+        )
+
+    def test_scan_sees_the_qos_reasons(self):
+        """The collector genuinely covers the QoS stamp sites."""
+        reasons = {reason for reason, _, _ in _collect_stamped_reasons()}
+        assert {
+            "deadline_expired", "admission_rejected", "backpressure_shed"
+        } <= reasons
+
+    def test_scan_sees_the_router_reasons(self):
+        reasons = {reason for reason, _, _ in _collect_stamped_reasons()}
+        assert {"hop-limit", "no-successor"} <= reasons
+
+    def test_taxonomy_has_no_duplicates(self):
+        assert len(DROP_REASONS) == len(set(DROP_REASONS))
+        assert len(HOP_FAIL_CAUSES) == len(set(HOP_FAIL_CAUSES))
+
+    def test_qos_hop_fail_causes_mirror_their_drop_reasons(self):
+        """QoS refusals surface as hop failures with the same name."""
+        assert "deadline_expired" in HOP_FAIL_CAUSES
+        assert "backpressure_shed" in HOP_FAIL_CAUSES

@@ -52,6 +52,7 @@ def test_every_module_has_a_docstring(module_name):
         "repro.chaos",
         "repro.recovery",
         "repro.telemetry",
+        "repro.qos",
     ],
 )
 def test_all_exports_resolve(package_name):
