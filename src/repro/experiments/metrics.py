@@ -110,6 +110,7 @@ class MetricsCollector:
         self._registry = registry
         self._class_counts: Dict[str, List[int]] = {}
         self._class_families: Dict[str, object] = {}
+        self._class_latency_hist = None
         if registry is not None:
             self._generated_ctr = registry.counter(
                 "packets_generated", "workload packets created (all, incl. warm-up)"
@@ -149,6 +150,22 @@ class MetricsCollector:
                 labels=labels,
             )
             self._class_families[which] = family
+        return family
+
+    def _class_latency(self):
+        """The ``qos_class_latency_seconds`` family, created lazily on
+        the first marked delivery (like the ``qos_class_*`` counters,
+        so unmarked runs export exactly the metrics they always did)."""
+        family = self._class_latency_hist
+        if family is None:
+            family = self._registry.histogram(
+                "qos_class_latency_seconds",
+                "end-to-end latency of delivered QoS-marked packets, "
+                "by traffic class (all)",
+                labels=("class",),
+                buckets=_LATENCY_BUCKETS,
+            )
+            self._class_latency_hist = family
         return family
 
     def class_stats(self) -> Tuple[ClassStat, ...]:
@@ -200,6 +217,7 @@ class MetricsCollector:
             )
             if self._registry is not None:
                 self._class_family("delivered").child(cls).inc()
+                self._class_latency().child(cls).observe(latency)
                 if missed:
                     self._class_family("deadline_missed").child(cls).inc()
             if self._measured(packet):

@@ -29,9 +29,11 @@ from repro.experiments.metrics import ClassStat, MetricsCollector
 from repro.experiments.workload import BurstyWorkload, CbrWorkload
 from repro.net.energy import Phase
 from repro.net.network import WirelessNetwork
+from repro.net.pool import PacketPool
 from repro.qos import QosManager
 from repro.recovery import RecoveryOrchestrator, RecoveryReport
 from repro.sim.core import Simulator
+from repro.sim.engine import EngineConfig
 from repro.telemetry.config import Telemetry
 from repro.util.rng import RngStreams
 from repro.wsan.deployment import plan_deployment
@@ -97,7 +99,8 @@ def run_scenario(system_name: str, config: ScenarioConfig) -> RunResult:
             f"unknown system {system_name!r}; choose from {sorted(SYSTEMS)}"
         ) from None
     streams = RngStreams(config.seed)
-    sim = Simulator()
+    engine = config.engine if config.engine is not None else EngineConfig()
+    sim = Simulator(queue=engine.scheduler)
     telemetry: Optional[Telemetry] = None
     if config.telemetry is not None:
         telemetry = Telemetry.from_config(config.telemetry)
@@ -129,7 +132,10 @@ def run_scenario(system_name: str, config: ScenarioConfig) -> RunResult:
             network,
             plan,
             streams.stream("system"),
-            ReferConfig(degree=config.kautz_degree),
+            ReferConfig(
+                degree=config.kautz_degree,
+                interned_ids=engine.interned_ids,
+            ),
         )
     else:
         system = system_cls(network, plan, streams.stream("system"))
@@ -166,6 +172,16 @@ def run_scenario(system_name: str, config: ScenarioConfig) -> RunResult:
         registry=network.registry,
         flight=network.flight,
     )
+    # Packet pooling: acquire from a free list instead of allocating
+    # per message.  Recycling is only safe when no layer references a
+    # packet past its terminal callback; the ARQ layer retransmits
+    # after a lost ACK, so with a recovery block present the pool still
+    # hands out packets (uid sequences stay identical) but never
+    # recycles them.
+    pool: Optional[PacketPool] = None
+    if engine.pooled_packets:
+        pool = PacketPool()
+    release_packets = config.recovery is None
     if config.bursty is not None:
         workload = BurstyWorkload(
             sim,
@@ -177,6 +193,8 @@ def run_scenario(system_name: str, config: ScenarioConfig) -> RunResult:
             admission=(
                 qos_manager.admission if qos_manager is not None else None
             ),
+            pool=pool,
+            release_packets=release_packets,
         )
     else:
         workload = CbrWorkload(
@@ -189,6 +207,8 @@ def run_scenario(system_name: str, config: ScenarioConfig) -> RunResult:
             qos_deadline=config.qos_deadline,
             sources_per_window=config.sources_per_window,
             source_window=config.source_window,
+            pool=pool,
+            release_packets=release_packets,
         )
     workload.start(0.0, config.end_time)
 

@@ -1,0 +1,197 @@
+"""Interned integer Kautz IDs: the fast twin of per-call string math.
+
+The routing hot path (``ReferRouter._route_intra``, the fault-tolerant
+router) recomputes :func:`repro.kautz.disjoint.successor_table` — an
+O(k²) string-slicing construction — on *every hop of every packet*,
+for node pairs drawn from a space of only ``(d+1)·d^(k-1)`` labels.
+:class:`InternedKautzSpace` enumerates that space once per ``(d, k)``,
+assigns each label a dense integer ID, and memoizes the Theorem 3.8
+successor tables and Kautz distances per ``(source id, dest id)`` pair.
+
+The tables returned are built by the **same**
+:func:`~repro.kautz.disjoint.successor_table` /
+:func:`~repro.kautz.namespace.kautz_distance` code — the string
+implementation stays the reference oracle; this module only adds the
+enumeration, the ID mapping, and the caches.  Rows therefore carry the
+identical ``SuccessorInfo`` ordering (sorted by ``(predicted_length,
+out_digit)``), with successors replaced by their *interned* (canonical)
+``KautzString`` instances, so routers that switch to the interned path
+produce byte-identical decisions.  The property suite
+(``tests/kautz/test_interned_properties.py``) pins this equivalence for
+random ``K(d<=5, k<=4)``.
+
+Spaces are cached class-level: every router over the same ``(d, k)``
+shares one table cache.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.errors import KautzError
+from repro.kautz.disjoint import SuccessorInfo, successor_table
+from repro.kautz.namespace import kautz_distance
+from repro.kautz.strings import KautzString
+
+__all__ = ["InternedKautzSpace"]
+
+#: Refuse to enumerate spaces past this many nodes — interning is for
+#: the small per-cell label spaces (K(2,3) has 12 nodes); a huge (d, k)
+#: indicates a configuration mistake, not a routing workload.
+_MAX_NODES = 200_000
+
+
+def _enumerate_letters(degree: int, k: int) -> List[Tuple[int, ...]]:
+    """All valid Kautz words for K(degree, k), in lexicographic order."""
+    words: List[Tuple[int, ...]] = [(first,) for first in range(degree + 1)]
+    for _ in range(k - 1):
+        words = [
+            word + (letter,)
+            for word in words
+            for letter in range(degree + 1)
+            if letter != word[-1]
+        ]
+    return words
+
+
+class InternedKautzSpace:
+    """The fully-enumerated label space of K(degree, k) with integer IDs.
+
+    IDs are dense (``0 .. size-1``) in lexicographic label order, so
+    they double as array indices.  All accessors accept either an ID or
+    a ``KautzString``; results involving nodes always hand back the
+    interned (canonical) instances.
+    """
+
+    _cache: Dict[Tuple[int, int], "InternedKautzSpace"] = {}
+
+    def __init__(self, degree: int, k: int) -> None:
+        if degree < 1:
+            raise KautzError(f"degree must be >= 1, got {degree}")
+        if k < 1:
+            raise KautzError(f"diameter must be >= 1, got {k}")
+        size = (degree + 1) * degree ** (k - 1)
+        if size > _MAX_NODES:
+            raise KautzError(
+                f"K({degree}, {k}) has {size} nodes; interning caps at "
+                f"{_MAX_NODES}"
+            )
+        self.degree = degree
+        self.k = k
+        words = _enumerate_letters(degree, k)
+        self.nodes: Tuple[KautzString, ...] = tuple(
+            KautzString(word, degree) for word in words
+        )
+        self._ids: Dict[Tuple[int, ...], int] = {
+            word: nid for nid, word in enumerate(words)
+        }
+        ids = self._ids
+        self.successor_ids: Tuple[Tuple[int, ...], ...] = tuple(
+            tuple(ids[s.letters] for s in node.successors())
+            for node in self.nodes
+        )
+        self.predecessor_ids: Tuple[Tuple[int, ...], ...] = tuple(
+            tuple(ids[p.letters] for p in node.predecessors())
+            for node in self.nodes
+        )
+        self._tables: Dict[Tuple[int, int], Tuple[SuccessorInfo, ...]] = {}
+        self._distances: Dict[Tuple[int, int], int] = {}
+
+    @classmethod
+    def for_params(cls, degree: int, k: int) -> "InternedKautzSpace":
+        """The shared space for K(degree, k) (built once, then cached)."""
+        space = cls._cache.get((degree, k))
+        if space is None:
+            space = cls(degree, k)
+            cls._cache[(degree, k)] = space
+        return space
+
+    @property
+    def size(self) -> int:
+        return len(self.nodes)
+
+    # -- ID mapping --------------------------------------------------------
+
+    def id_of(self, node: KautzString) -> int:
+        """The dense integer ID of ``node``."""
+        try:
+            return self._ids[node.letters]
+        except KeyError:
+            raise KautzError(
+                f"{node!r} is not a node of K({self.degree}, {self.k})"
+            ) from None
+
+    def node_of(self, nid: int) -> KautzString:
+        """The interned ``KautzString`` with ID ``nid``."""
+        return self.nodes[nid]
+
+    def intern(self, node: KautzString) -> KautzString:
+        """The canonical instance equal to ``node``."""
+        return self.nodes[self.id_of(node)]
+
+    # -- adjacency ---------------------------------------------------------
+
+    def successors(self, nid: int) -> Tuple[int, ...]:
+        """Out-neighbour IDs, in ``successor_letters()`` (ascending) order."""
+        return self.successor_ids[nid]
+
+    def predecessors(self, nid: int) -> Tuple[int, ...]:
+        """In-neighbour IDs, in ``predecessor_letters()`` (ascending) order."""
+        return self.predecessor_ids[nid]
+
+    # -- memoized routing math ---------------------------------------------
+
+    def table(self, u: KautzString, v: KautzString) -> Tuple[SuccessorInfo, ...]:
+        """The Theorem 3.8 successor table for U→V, computed once per pair.
+
+        Row order and contents match
+        :func:`repro.kautz.disjoint.successor_table` exactly; successor
+        strings are interned.
+        """
+        key = (self._ids[u.letters], self._ids[v.letters])
+        rows = self._tables.get(key)
+        if rows is None:
+            nodes = self.nodes
+            uid, vid = key
+            rows = tuple(
+                SuccessorInfo(
+                    successor=nodes[self._ids[row.successor.letters]],
+                    out_digit=row.out_digit,
+                    predicted_length=row.predicted_length,
+                    case=row.case,
+                )
+                for row in successor_table(nodes[uid], nodes[vid])
+            )
+            self._tables[key] = rows
+        return rows
+
+    def table_by_id(self, uid: int, vid: int) -> Tuple[SuccessorInfo, ...]:
+        """:meth:`table` addressed by IDs."""
+        rows = self._tables.get((uid, vid))
+        if rows is None:
+            rows = self.table(self.nodes[uid], self.nodes[vid])
+        return rows
+
+    def distance(self, u: KautzString, v: KautzString) -> int:
+        """Memoized :func:`repro.kautz.namespace.kautz_distance`."""
+        key = (self._ids[u.letters], self._ids[v.letters])
+        dist = self._distances.get(key)
+        if dist is None:
+            dist = kautz_distance(u, v)
+            self._distances[key] = dist
+        return dist
+
+    def distance_by_id(self, uid: int, vid: int) -> int:
+        """:meth:`distance` addressed by IDs."""
+        key = (uid, vid)
+        dist = self._distances.get(key)
+        if dist is None:
+            dist = kautz_distance(self.nodes[uid], self.nodes[vid])
+            self._distances[key] = dist
+        return dist
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"InternedKautzSpace(K({self.degree}, {self.k}), "
+            f"{self.size} nodes, {len(self._tables)} cached tables)"
+        )

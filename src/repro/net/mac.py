@@ -57,6 +57,11 @@ class ContentionMac:
         self._medium = medium
         self._rng = rng
         self.config = config
+        # Frames come in a handful of sizes (payload, ACK, probes), so
+        # the per-size airtime division is memoized.  Keyed per config
+        # instance: swapping ``self.config`` resets the cache.
+        self._airtime_cache: dict = {}
+        self._airtime_config = config
         # Telemetry hook (repro.telemetry.profiler): when set, every
         # transmission reports its frame attempts as bytes on air.
         # Observation only — it must never touch the RNG or timing.
@@ -117,17 +122,31 @@ class ContentionMac:
         now = self._sim.now
         start = max(now, src.radio_busy_until)
         contention = self._medium.contention_at(src_id, now)
-        airtime = cfg.airtime(packet.size_bytes)
-        loss_p = self._loss_probability(src_id, now)
+        size = packet.size_bytes
+        if cfg is not self._airtime_config:
+            self._airtime_cache = {}
+            self._airtime_config = cfg
+        airtime = self._airtime_cache.get(size)
+        if airtime is None:
+            airtime = self._airtime_cache[size] = cfg.airtime(size)
+        # _loss_probability, inlined so contention_at runs once per
+        # frame; same float operations in the same order.
+        extra = min(cfg.contention_loss * contention, cfg.max_loss)
+        loss_p = min(cfg.base_loss + extra, 1.0)
 
         elapsed = start - now
         success = False
         attempts = 0
+        # slot_seconds * contention is loop-invariant; multiplying the
+        # uniform draw afterwards evaluates left-to-right exactly like
+        # the original expression, so timings are bit-identical.
+        slot_contention = cfg.slot_seconds * contention
+        uniform = self._rng.uniform
+        rand = self._rng.random
         for _ in range(cfg.retry_limit + 1):
-            backoff = cfg.slot_seconds * contention * self._rng.uniform(0.5, 1.5)
-            elapsed += backoff + airtime
+            elapsed += slot_contention * uniform(0.5, 1.5) + airtime
             attempts += 1
-            if self._rng.random() >= loss_p:
+            if rand() >= loss_p:
                 success = True
                 break
         if self.profiler is not None:

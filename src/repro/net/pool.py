@@ -1,0 +1,104 @@
+"""A free-list pool for :class:`~repro.net.packet.Packet` objects.
+
+The workloads allocate one packet per generated message and drop the
+reference as soon as the delivery/drop callback has read its fields —
+classic churn.  :class:`PacketPool` recycles those instances: a
+released packet has its mutable state reset and is handed out by the
+next :meth:`acquire` instead of a fresh allocation.
+
+Determinism contract: :meth:`acquire` draws ``next(_uid_counter)``
+exactly like a plain ``Packet(...)`` construction does, so the uid
+sequence of a pooled run is **byte-identical** to a plain run — the
+engine determinism goldens rely on this.  Pooling is therefore purely
+an allocation-count knob (visible in the peak-alloc column of
+``benchmarks/bench_engine_scaling.py``), never a behavioural one.
+
+Safety: only release packets whose lifecycle is over (the terminal
+delivered/dropped callback has run and no layer retains a reference).
+Double release is rejected; an acquired packet is always forgotten by
+the pool until released again.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+from repro.errors import NetworkError
+from repro.net import packet as _packet_mod
+from repro.net.packet import Packet, PacketKind
+
+__all__ = ["PacketPool"]
+
+
+class PacketPool:
+    """Recycles ``Packet`` instances to cut allocation churn."""
+
+    def __init__(self, max_idle: int = 4096) -> None:
+        self._free: List[Packet] = []
+        self._max_idle = max_idle
+        #: diagnostics: how many acquires were served from the free list
+        self.reused = 0
+        #: diagnostics: total acquires
+        self.acquired = 0
+
+    def __len__(self) -> int:
+        return len(self._free)
+
+    def acquire(
+        self,
+        kind: PacketKind,
+        size_bytes: int,
+        source: int,
+        destination: Optional[int],
+        created_at: float,
+        deadline: Optional[float] = None,
+        traffic_class: Optional[str] = None,
+    ) -> Packet:
+        """A packet initialised exactly like ``Packet(...)`` would be.
+
+        Draws the next uid from the module counter whether or not the
+        instance is recycled, keeping uid sequences identical to
+        unpooled runs.
+        """
+        self.acquired += 1
+        uid = next(_packet_mod._uid_counter)
+        free = self._free
+        if free:
+            self.reused += 1
+            pkt = free.pop()
+            pkt.kind = kind
+            pkt.size_bytes = size_bytes
+            pkt.source = source
+            pkt.destination = destination
+            pkt.created_at = created_at
+            pkt.uid = uid
+            pkt.deadline = deadline
+            pkt.traffic_class = traffic_class
+            return pkt
+        return Packet(
+            kind=kind,
+            size_bytes=size_bytes,
+            source=source,
+            destination=destination,
+            created_at=created_at,
+            uid=uid,
+            deadline=deadline,
+            traffic_class=traffic_class,
+        )
+
+    def release(self, pkt: Packet) -> None:
+        """Return a finished packet to the pool.
+
+        The caller asserts no live reference remains.  The mutable
+        containers are cleared in place (``hops``/``meta`` may be
+        aliased by code that read them before release — clearing beats
+        replacing so such aliases see an empty, not a stale, view).
+        """
+        if pkt.uid == -1:
+            raise NetworkError("packet released to the pool twice")
+        pkt.hops.clear()
+        pkt.meta.clear()
+        pkt.uid = -1  # poison: marks membership, catches double release
+        free = self._free
+        if len(free) < self._max_idle:
+            free.append(pkt)

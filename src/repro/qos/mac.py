@@ -26,7 +26,7 @@ already condemned.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Optional, Set
+from typing import Callable, Dict, List, Optional, Set
 
 from repro.net.mac import ContentionMac
 from repro.net.packet import Packet
@@ -63,6 +63,11 @@ class MacQosScheduler:
         }
         self._queues: Dict[int, PriorityFrameQueue] = {}
         self._serving: Set[int] = set()
+        # QueuedFrame free list: frames never escape the scheduler
+        # (the MAC gets packet + callback, not the frame), so finished
+        # frames are recycled instead of churning an allocation per
+        # queued transmission.
+        self._free_frames: List[QueuedFrame] = []
 
     def _queue_for(self, node_id: int) -> PriorityFrameQueue:
         queue = self._queues.get(node_id)
@@ -110,7 +115,7 @@ class MacQosScheduler:
         on_result: Callable[[bool, float], None],
     ) -> None:
         """Queue one accepted frame and serve the node if it is idle."""
-        frame = QueuedFrame(
+        frame = self._acquire_frame(
             src_id, dst_id, packet, on_result, class_of(packet), expiry_of(packet)
         )
         queue = self._queue_for(src_id)
@@ -148,6 +153,7 @@ class MacQosScheduler:
         radio_free = self._mac.service_frame(
             frame.src, frame.dst, frame.packet, frame.on_result
         )
+        self._release_frame(frame)
         self._signal_depth(node_id, queue)
         self._sim.schedule(
             max(0.0, radio_free - self._sim.now),
@@ -163,10 +169,43 @@ class MacQosScheduler:
         self._stats.deadline_drops += 1
         frame.packet.meta["drop_reason"] = "deadline_expired"
         frame.packet.meta["qos_terminal"] = "deadline_expired"
-        frame.on_result(False, self._sim.now)
+        on_result = frame.on_result
+        self._release_frame(frame)
+        on_result(False, self._sim.now)
 
     def _shed(self, frame: QueuedFrame) -> None:
         self._stats.backpressure_sheds += 1
         frame.packet.meta["drop_reason"] = "backpressure_shed"
         frame.packet.meta["qos_terminal"] = "backpressure_shed"
-        frame.on_result(False, self._sim.now)
+        on_result = frame.on_result
+        self._release_frame(frame)
+        on_result(False, self._sim.now)
+
+    # -- frame recycling ---------------------------------------------------
+
+    def _acquire_frame(
+        self,
+        src: int,
+        dst: int,
+        packet: Packet,
+        on_result: Callable[[bool, float], None],
+        traffic_class: TrafficClass,
+        expiry: Optional[float],
+    ) -> QueuedFrame:
+        free = self._free_frames
+        if free:
+            frame = free.pop()
+            frame.src = src
+            frame.dst = dst
+            frame.packet = packet
+            frame.on_result = on_result
+            frame.traffic_class = traffic_class
+            frame.expiry = expiry
+            return frame
+        return QueuedFrame(src, dst, packet, on_result, traffic_class, expiry)
+
+    def _release_frame(self, frame: QueuedFrame) -> None:
+        frame.packet = None  # drop references; the frame is inert
+        frame.on_result = None
+        if len(self._free_frames) < 1024:
+            self._free_frames.append(frame)

@@ -6,9 +6,19 @@ deterministic FIFO tie-breaking, cancellable events, timers and
 periodic processes, and a trace facility for debugging.
 """
 
-from repro.sim.core import Simulator
+from repro.sim.calendar import CalendarQueue, SlottedEvent
+from repro.sim.core import QUEUE_BACKENDS, Simulator
 from repro.sim.events import Event, EventQueue
 from repro.sim.process import PeriodicProcess
 from repro.sim.trace import TraceLog
 
-__all__ = ["Simulator", "Event", "EventQueue", "PeriodicProcess", "TraceLog"]
+__all__ = [
+    "Simulator",
+    "Event",
+    "EventQueue",
+    "CalendarQueue",
+    "SlottedEvent",
+    "QUEUE_BACKENDS",
+    "PeriodicProcess",
+    "TraceLog",
+]

@@ -1,0 +1,333 @@
+"""A calendar-queue event scheduler (Brown 1988), the fast twin of
+:class:`~repro.sim.events.EventQueue`.
+
+The binary heap pays O(log n) Python-level ``Event.__lt__`` calls per
+operation; at the 10k-node scale of the Fig 8/9 sweeps that is the
+dominant cost of the simulator loop.  The calendar queue spreads events
+over ``nbuckets`` cyclic time buckets of ``width`` seconds each, so a
+push is one C-level :func:`bisect.insort` into a short list and a pop
+is (amortised) one list ``pop()`` — no per-element Python comparisons
+at all.
+
+Representation choices that keep the hot path in C:
+
+* each bucket is an **ascending** list of ``(-time, -seq, event, year)``
+  tuples, so the bucket minimum is the *last* element: pushes are
+  ``insort`` (binary search + memmove, both C), pops are ``list.pop()``
+  (O(1));
+* the "does this bucket's head belong to the year being scanned" test
+  is an exact integer comparison against the ``year`` stored in the
+  entry at push time — the same ``int(time / width)`` that chose the
+  bucket — so no float year-boundary arithmetic can ever disagree with
+  the bucketing;
+* events are :class:`SlottedEvent` instances — ``__slots__`` objects
+  with the exact ``Event`` interface (``time``/``seq``/``action``/
+  ``cancelled``/``cancel()``) at roughly half the construction cost of
+  the dataclass.
+
+Semantics are **identical** to ``EventQueue`` — same ``(time, seq)``
+FIFO ordering for equal timestamps, same lazy-cancellation contract,
+same ``push``/``pop``/``peek_time``/``note_cancelled``/``__len__``
+surface — which the differential property suite
+(``tests/sim/test_calendar_queue_properties.py``) and the engine
+determinism goldens pin element-for-element against the heap oracle.
+"""
+
+from __future__ import annotations
+
+import itertools
+from bisect import insort
+from typing import Callable, List, Optional, Tuple
+
+from repro.errors import SimulationError
+
+__all__ = ["CalendarQueue", "SlottedEvent"]
+
+
+class SlottedEvent:
+    """A scheduled callback with the :class:`~repro.sim.events.Event`
+    interface, stored in ``__slots__`` (no per-instance dict)."""
+
+    __slots__ = ("time", "seq", "action", "cancelled")
+
+    def __init__(
+        self,
+        time: float,
+        seq: int,
+        action: Callable[[], None],
+        cancelled: bool = False,
+    ) -> None:
+        self.time = time
+        self.seq = seq
+        self.action = action
+        self.cancelled = cancelled
+
+    def cancel(self) -> None:
+        """Mark the event so the queue skips it when popped."""
+        self.cancelled = True
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"SlottedEvent(time={self.time}, seq={self.seq}, "
+            f"cancelled={self.cancelled})"
+        )
+
+
+#: One stored entry: ``(-time, -seq, event, year)``.  Negation makes
+#: the bucket's *ascending* sort order put the earliest (time, seq)
+#: last, where ``list.pop()`` is O(1); seq uniqueness means neither the
+#: event nor the year is ever compared during sorting.
+_Entry = Tuple[float, int, SlottedEvent, int]
+
+#: Years are clamped so ``time / width`` ratios beyond int range (huge
+#: horizons over tiny widths) saturate instead of overflowing.  Events
+#: past the clamp share one far-future year; in-bucket ordering keeps
+#: them correctly sequenced.
+_YEAR_CLAMP = 1 << 62
+_YEAR_CLAMP_F = float(_YEAR_CLAMP)
+
+
+def _year_of(time: float, width: float) -> int:
+    """The virtual year (bucket epoch) of ``time`` at bucket ``width``.
+
+    ``int()`` truncation is monotonically non-decreasing in ``time``,
+    which is the only property the queue needs: ``year(a) < year(b)``
+    implies ``a < b``, and equal years are ordered inside the bucket.
+    """
+    ratio = time / width
+    if ratio >= _YEAR_CLAMP:
+        return _YEAR_CLAMP
+    if ratio <= -_YEAR_CLAMP:
+        return -_YEAR_CLAMP
+    return int(ratio)
+
+
+class CalendarQueue:
+    """Drop-in fast replacement for :class:`~repro.sim.events.EventQueue`.
+
+    The bucket count doubles whenever the population outgrows it (and
+    the width is re-estimated from the live events' span), keeping the
+    expected bucket occupancy at ~1 event so every operation is O(1)
+    amortised regardless of queue size.
+
+    Invariant: every live entry's ``year`` is >= ``_cvi`` (the year the
+    search cursor is parked on).  ``pop`` maintains it by only moving
+    the cursor onto the global minimum; ``push`` maintains it by
+    rewinding the cursor whenever an event lands in an earlier year.
+    """
+
+    #: Smallest bucket-array size (power of two, for mask indexing).
+    _MIN_BUCKETS = 8
+
+    def __init__(self) -> None:
+        self._counter = itertools.count()
+        self._live = 0              # non-cancelled events
+        self._count = 0             # stored entries incl. cancelled
+        self._nbuckets = self._MIN_BUCKETS
+        self._mask = self._nbuckets - 1
+        self._width = 1.0
+        self._buckets: List[List[_Entry]] = [
+            [] for _ in range(self._nbuckets)
+        ]
+        self._cvi = 0               # virtual year the scan resumes from
+        self._last = 0.0            # priority of the last pop
+        # peek_time() caches the entry it found so the pop() that
+        # almost always follows (Simulator.run_until peeks every
+        # iteration) does not repeat the search.
+        self._peeked: Optional[Tuple[_Entry, List[_Entry]]] = None
+
+    def __len__(self) -> int:
+        return self._live
+
+    def __bool__(self) -> bool:
+        return self._live > 0
+
+    # -- scheduling --------------------------------------------------------
+
+    def push(self, time: float, action: Callable[[], None]) -> SlottedEvent:
+        """Schedule ``action`` at absolute ``time``; returns a handle."""
+        if time - time != 0:  # NaN or +-inf: unbucketable
+            raise SimulationError(f"event time is not finite: {time}")
+        event = SlottedEvent(time, next(self._counter), action)
+        # _year_of, inlined: push is the hottest entry point.
+        ratio = time / self._width
+        if -_YEAR_CLAMP_F < ratio < _YEAR_CLAMP_F:
+            year = int(ratio)
+        else:
+            year = _YEAR_CLAMP if ratio > 0 else -_YEAR_CLAMP
+        insort(
+            self._buckets[year & self._mask],
+            (-time, -event.seq, event, year),
+        )
+        self._count += 1
+        self._live += 1
+        if year < self._cvi:
+            # Scheduled behind the search cursor: rewind so the scan
+            # cannot skip it (the simulator never schedules into the
+            # past, but the queue contract — and the property suite —
+            # allows arbitrary interleavings with peeks).
+            self._cvi = year
+            self._peeked = None
+            if time < self._last:
+                self._last = time
+        else:
+            peeked = self._peeked
+            if peeked is not None and time < peeked[0][2].time:
+                self._peeked = None
+        if self._count > 2 * self._nbuckets:
+            self._resize()
+        return event
+
+    def _resize(self) -> None:
+        """Grow the bucket array and re-estimate the bucket width.
+
+        Cancelled entries are dropped during the rebuild, so a cancel
+        storm also shrinks ``_count`` back toward ``_live``.
+        """
+        events = [
+            entry[2]
+            for bucket in self._buckets
+            for entry in bucket
+            if not entry[2].cancelled
+        ]
+        self._count = len(events)
+        nbuckets = 1 << max(
+            self._MIN_BUCKETS.bit_length() - 1, self._count.bit_length()
+        )
+        if events:
+            lo = min(event.time for event in events)
+            hi = max(event.time for event in events)
+            width = (hi - lo) / self._count if hi > lo else self._width
+        else:
+            lo = self._last
+            width = self._width
+        if width <= 0:
+            width = 1.0
+        self._nbuckets = nbuckets
+        self._mask = mask = nbuckets - 1
+        self._width = width
+        buckets: List[List[_Entry]] = [[] for _ in range(nbuckets)]
+        for event in events:
+            year = _year_of(event.time, width)
+            buckets[year & mask].append(
+                (-event.time, -event.seq, event, year)
+            )
+        for bucket in buckets:
+            bucket.sort()
+        self._buckets = buckets
+        if events:
+            self._last = lo
+        self._cvi = _year_of(self._last, width)
+        self._peeked = None
+
+    # -- the search --------------------------------------------------------
+
+    def _find(self) -> Optional[Tuple[_Entry, List[_Entry]]]:
+        """Locate (but do not remove) the minimum entry and its bucket.
+
+        Scans one full year-cycle from the cursor; when every event
+        lives beyond that (sparse far-future populations), falls back
+        to a direct scan of the bucket minima — each bucket's tail
+        element, so the fallback is O(nbuckets), not O(n).
+        """
+        buckets = self._buckets
+        mask = self._mask
+        year = self._cvi
+        for _ in range(self._nbuckets):
+            bucket = buckets[year & mask]
+            if bucket and bucket[-1][3] == year:
+                self._cvi = year
+                return bucket[-1], bucket
+            year += 1
+        best: Optional[_Entry] = None
+        best_bucket: Optional[List[_Entry]] = None
+        for bucket in buckets:
+            if bucket:
+                tail = bucket[-1]
+                if best is None or tail > best:
+                    best = tail
+                    best_bucket = bucket
+        if best is None:
+            return None
+        self._cvi = best[3]
+        return best, best_bucket
+
+    # -- dequeueing --------------------------------------------------------
+
+    def pop(self) -> Optional[SlottedEvent]:
+        """The earliest non-cancelled event, or ``None`` if empty.
+
+        Cancelled events are dropped lazily here, mirroring the heap
+        oracle: cancellation itself never restructures the calendar.
+
+        The year scan from :meth:`_find` is inlined: this is the single
+        hottest loop in a large simulation, and at ~1 event per year
+        the per-pop cost is dominated by call and loop setup overhead
+        rather than the 1-2 scan iterations themselves.
+        """
+        while True:
+            peeked = self._peeked
+            if peeked is not None:
+                self._peeked = None
+                entry, bucket = peeked
+            else:
+                if self._count == 0:
+                    self._live = 0
+                    return None
+                buckets = self._buckets
+                mask = self._mask
+                year = self._cvi
+                stop = year + self._nbuckets
+                entry = None
+                while year < stop:
+                    bucket = buckets[year & mask]
+                    if bucket:
+                        entry = bucket[-1]
+                        if entry[3] == year:
+                            self._cvi = year
+                            break
+                        entry = None
+                    year += 1
+                if entry is None:
+                    # Sparse far-future population: fall back to the
+                    # full minima scan (rare — one cycle found nothing).
+                    found = self._find()
+                    if found is None:
+                        self._count = 0
+                        self._live = 0
+                        return None
+                    entry, bucket = found
+            bucket.pop()
+            self._count -= 1
+            event = entry[2]
+            if event.cancelled:
+                continue
+            self._last = event.time
+            self._live -= 1
+            return event
+
+    def peek_time(self) -> Optional[float]:
+        """Timestamp of the next live event without removing it."""
+        peeked = self._peeked
+        if peeked is not None:
+            if not peeked[0][2].cancelled:
+                return peeked[0][2].time
+            self._peeked = None
+        while self._count:
+            found = self._find()
+            if found is None:
+                self._count = 0
+                return None
+            entry, bucket = found
+            if entry[2].cancelled:
+                bucket.pop()
+                self._count -= 1
+                continue
+            self._peeked = found
+            return entry[2].time
+        return None
+
+    def note_cancelled(self) -> None:
+        """Bookkeeping hook: a live event was cancelled externally."""
+        if self._live > 0:
+            self._live -= 1

@@ -1,0 +1,57 @@
+"""Engine selection: which hot-path implementations a run uses.
+
+One frozen config naming the three fast/reference pairs of the engine
+overhaul (ROADMAP item 1):
+
+* ``scheduler`` — ``"heap"`` (the seed binary heap, the oracle) or
+  ``"calendar"`` (:class:`~repro.sim.calendar.CalendarQueue`);
+* ``interned_ids`` — route through memoized
+  :class:`~repro.kautz.interned.InternedKautzSpace` tables instead of
+  per-hop string math;
+* ``pooled_packets`` — recycle packets through a
+  :class:`~repro.net.pool.PacketPool` instead of allocating per
+  message.
+
+Every combination produces **byte-identical** run metrics (pinned by
+``tests/sim/test_engine_determinism.py`` across all 8 combinations);
+the knobs trade nothing but host time and allocations.  The default
+``ScenarioConfig(engine=None)`` means "all reference implementations",
+keeping legacy runs bit-exact with the seed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import SimulationError
+from repro.sim.core import QUEUE_BACKENDS
+
+__all__ = ["EngineConfig"]
+
+
+@dataclass(frozen=True)
+class EngineConfig:
+    """Which engine implementations to run a scenario on."""
+
+    scheduler: str = "heap"
+    interned_ids: bool = False
+    pooled_packets: bool = False
+
+    def __post_init__(self) -> None:
+        if self.scheduler not in QUEUE_BACKENDS:
+            raise SimulationError(
+                f"unknown scheduler {self.scheduler!r}; expected one of "
+                f"{QUEUE_BACKENDS}"
+            )
+
+    @classmethod
+    def fast(cls) -> "EngineConfig":
+        """Every fast path on — the 10k-node configuration."""
+        return cls(
+            scheduler="calendar", interned_ids=True, pooled_packets=True
+        )
+
+    @classmethod
+    def reference(cls) -> "EngineConfig":
+        """Every reference implementation (equivalent to ``None``)."""
+        return cls()

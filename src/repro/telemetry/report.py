@@ -58,6 +58,24 @@ def _funnel_section(result) -> List[str]:
     return lines
 
 
+def _class_latency_of(result, traffic_class: str):
+    """The class's delivery-latency histogram, or None without one.
+
+    Reads the ``qos_class_latency_seconds`` family the metrics layer
+    exports (all deliveries, warm-up included, like its sibling
+    ``qos_class_*`` counters)."""
+    telemetry = result.telemetry
+    if telemetry is None:
+        return None
+    family = telemetry.registry.get("qos_class_latency_seconds")
+    if family is None:
+        return None
+    for labels, hist in family.items():
+        if labels == (traffic_class,) and hist.count:
+            return hist
+    return None
+
+
 def _class_section(result) -> List[str]:
     """Per-traffic-class funnel (QoS runs only; empty otherwise)."""
     stats = getattr(result, "class_stats", ())
@@ -75,6 +93,13 @@ def _class_section(result) -> List[str]:
             f"dropped {stat.dropped:>11}  "
             f"miss-rate {stat.deadline_miss_rate:6.1%}"
         )
+        hist = _class_latency_of(result, stat.traffic_class)
+        if hist is not None:
+            lines.append(
+                f"  {'':<10} latency p50 {hist.quantile(0.5) * 1e3:>6.1f} ms"
+                f"  p95 {hist.quantile(0.95) * 1e3:>8.1f} ms  "
+                f"mean {hist.mean * 1e3:>8.1f} ms"
+            )
     return lines
 
 

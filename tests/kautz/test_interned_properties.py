@@ -1,0 +1,159 @@
+"""Oracle-equivalence properties for interned integer Kautz IDs.
+
+:class:`~repro.kautz.interned.InternedKautzSpace` is the fast twin of
+per-call Kautz string math; the engine overhaul is gated on its tables
+agreeing *exactly* with the string oracle.  These properties draw
+random ``K(d <= 5, k <= 4)`` spaces and assert:
+
+* the ID mapping is a bijection onto the enumerated label space;
+* successor/predecessor ID rows agree with ``KautzString`` adjacency,
+  element-for-element and in the same (ascending-letter) order;
+* memoized Theorem 3.8 tables equal :func:`successor_table` rows with
+  successors replaced by their interned instances (``is``-identical to
+  the canonical nodes);
+* memoized distances equal :func:`kautz_distance`;
+* the fault-tolerant router on interned tables routes byte-identically
+  to the string-backed router under random failure sets — same paths,
+  same detour counts, and failures (when greedy hop-by-hop strands
+  itself) in exactly the same situations.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import KautzError, RoutingError
+from repro.kautz.disjoint import disjoint_paths, successor_table, verify_node_disjoint
+from repro.kautz.interned import InternedKautzSpace
+from repro.kautz.namespace import kautz_distance
+from repro.kautz.routing import FaultTolerantRouter
+from repro.kautz.strings import KautzString
+
+PROFILE = settings(max_examples=100, deadline=None, derandomize=True)
+
+#: (degree, k) pairs small enough to enumerate in a unit test.
+_PARAMS = [
+    (d, k)
+    for d in range(2, 6)
+    for k in range(1, 5)
+    if (d + 1) * d ** (k - 1) <= 1000
+]
+
+
+@st.composite
+def space_and_pair(draw):
+    """A random space plus a random (u, v) node pair with u != v."""
+    degree, k = draw(st.sampled_from([p for p in _PARAMS if p[1] >= 2]))
+    seed = draw(st.integers(min_value=0, max_value=10 ** 6))
+    space = InternedKautzSpace.for_params(degree, k)
+    rng = random.Random(seed)
+    uid = rng.randrange(space.size)
+    vid = rng.randrange(space.size)
+    while vid == uid:
+        vid = rng.randrange(space.size)
+    return space, space.node_of(uid), space.node_of(vid)
+
+
+@pytest.mark.parametrize("degree,k", _PARAMS)
+def test_id_mapping_is_a_dense_bijection(degree, k):
+    space = InternedKautzSpace.for_params(degree, k)
+    assert space.size == (degree + 1) * degree ** (k - 1)
+    seen = set()
+    for nid, node in enumerate(space.nodes):
+        assert space.id_of(node) == nid
+        assert space.node_of(nid) is node
+        assert space.intern(KautzString(node.letters, degree)) is node
+        seen.add(node.letters)
+    assert len(seen) == space.size
+
+
+@pytest.mark.parametrize("degree,k", _PARAMS)
+def test_adjacency_ids_match_string_oracle(degree, k):
+    space = InternedKautzSpace.for_params(degree, k)
+    for nid, node in enumerate(space.nodes):
+        expected_succ = [space.id_of(s) for s in node.successors()]
+        expected_pred = [space.id_of(p) for p in node.predecessors()]
+        assert list(space.successors(nid)) == expected_succ
+        assert list(space.predecessors(nid)) == expected_pred
+
+
+@PROFILE
+@given(space_and_pair())
+def test_tables_match_string_oracle(triple):
+    space, u, v = triple
+    oracle_rows = successor_table(u, v)
+    rows = space.table(u, v)
+    assert list(rows) == list(oracle_rows)
+    for row in rows:
+        # Interned rows hand back the canonical instances.
+        assert space.intern(row.successor) is row.successor
+    # Memoization returns the same tuple, and the by-ID accessor too.
+    assert space.table(u, v) is rows
+    assert space.table_by_id(space.id_of(u), space.id_of(v)) is rows
+
+
+@PROFILE
+@given(space_and_pair())
+def test_distances_match_string_oracle(triple):
+    space, u, v = triple
+    assert space.distance(u, v) == kautz_distance(u, v)
+    assert space.distance_by_id(
+        space.id_of(u), space.id_of(v)
+    ) == kautz_distance(u, v)
+    assert space.distance(u, u) == 0
+
+
+@PROFILE
+@given(space_and_pair())
+def test_router_parity_under_random_faults(triple):
+    """Interned and string routers make identical decisions."""
+    space, u, v = triple
+    rng = random.Random(hash(u.letters + v.letters + (space.degree,)) & 0xFFFF_FFFF)
+    candidates = [
+        n for n in space.nodes if n not in (u, v)
+    ]
+    dead = set(rng.sample(candidates, min(space.degree - 1, len(candidates))))
+    available = lambda node: node not in dead
+    plain = FaultTolerantRouter(is_available=available)
+    interned = FaultTolerantRouter(is_available=available, use_interned=True)
+    try:
+        result_plain = plain.route(u, v)
+    except RoutingError:
+        # Hop-by-hop greedy can strand itself behind its visited set;
+        # the contract here is *parity*: the interned router must fail
+        # in exactly the same situations.
+        with pytest.raises(RoutingError):
+            interned.route(u, v)
+        return
+    result_interned = interned.route(u, v)
+    assert result_interned.path == result_plain.path
+    assert result_interned.detours == result_plain.detours
+    assert result_interned.delivered
+
+
+@PROFILE
+@given(space_and_pair())
+def test_disjoint_paths_consistent_with_interned_tables(triple):
+    """Theorem 3.8 path bundles line up with the interned table rows."""
+    space, u, v = triple
+    paths = disjoint_paths(u, v)
+    assert verify_node_disjoint(paths)
+    rows = space.table(u, v)
+    # One table row per disjoint path, same first hops in table order.
+    assert [p[1] for p in paths] == [row.successor for row in rows]
+
+
+def test_unknown_node_rejected():
+    space = InternedKautzSpace.for_params(2, 3)
+    with pytest.raises(KautzError):
+        space.id_of(KautzString((0, 1, 2, 0), 3))
+
+
+def test_oversized_space_rejected():
+    with pytest.raises(KautzError):
+        InternedKautzSpace(9, 7)
+
+
+def test_for_params_caches_one_space_per_shape():
+    assert InternedKautzSpace.for_params(2, 3) is InternedKautzSpace.for_params(2, 3)

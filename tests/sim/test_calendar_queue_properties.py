@@ -1,0 +1,233 @@
+"""Oracle-equivalence property suite for the calendar queue.
+
+:class:`~repro.sim.calendar.CalendarQueue` is the fast twin of the
+seed binary heap (:class:`~repro.sim.events.EventQueue`); the engine
+overhaul is gated on the two being *indistinguishable* through the
+queue API.  These properties hammer randomized interleavings of
+``push``/``pop``/``cancel``/``peek_time`` — including same-timestamp
+bursts, huge and tiny time scales, and rescheduling from inside
+running callbacks via the Simulator — and assert the calendar's
+observable trace is element-for-element identical to the heap oracle:
+same ``(time, seq)`` pop sequence, same peeks, same lengths.
+
+All properties run derandomized (fixed seed profile) so CI failures
+reproduce locally.
+"""
+
+import itertools
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import SimulationError
+from repro.sim.calendar import CalendarQueue
+from repro.sim.core import QUEUE_BACKENDS, Simulator
+from repro.sim.events import EventQueue
+
+PROFILE = settings(max_examples=120, deadline=None, derandomize=True)
+
+
+# ----------------------------------------------------------------------
+# op-script strategy
+# ----------------------------------------------------------------------
+
+@st.composite
+def op_scripts(draw):
+    """A randomized queue workload: a list of push/pop/cancel/peek ops.
+
+    Pushed times mix fresh draws with *reuses* of earlier timestamps
+    (same-time bursts are where FIFO tie-breaking can go wrong) across
+    several magnitudes (sub-millisecond to 1e12 — bucket-width stress).
+    """
+    seed = draw(st.integers(min_value=0, max_value=10 ** 6))
+    length = draw(st.integers(min_value=20, max_value=250))
+    scale = draw(st.sampled_from([1.0, 1e-3, 1e6, 1e12]))
+    rng = random.Random(seed)
+    ops = []
+    times = []
+    for _ in range(length):
+        roll = rng.random()
+        if roll < 0.55:
+            if times and rng.random() < 0.35:
+                t = rng.choice(times)       # same-time burst
+            else:
+                t = rng.random() * scale
+            times.append(t)
+            ops.append(("push", t))
+        elif roll < 0.75:
+            ops.append(("pop",))
+        elif roll < 0.9:
+            ops.append(("cancel", rng.random()))
+        else:
+            ops.append(("peek",))
+    return ops
+
+
+def _apply(queue, ops):
+    """Run one op script; returns the queue's full observable trace.
+
+    ``pending`` tracks handles that have not been popped or cancelled,
+    keyed by seq, so cancels only ever target live events (cancelling a
+    popped event is a caller bug on both backends alike).
+    """
+    trace = []
+    pending = {}
+    for op in ops:
+        if op[0] == "push":
+            event = queue.push(op[1], lambda: None)
+            pending[event.seq] = event
+            trace.append(("len", len(queue)))
+        elif op[0] == "pop":
+            event = queue.pop()
+            if event is None:
+                trace.append(("pop", None))
+            else:
+                pending.pop(event.seq, None)
+                trace.append(("pop", event.time, event.seq))
+        elif op[0] == "cancel":
+            if pending:
+                keys = sorted(pending)
+                key = keys[int(op[1] * len(keys)) % len(keys)]
+                event = pending.pop(key)
+                event.cancel()
+                queue.note_cancelled()
+                trace.append(("len", len(queue)))
+        else:
+            trace.append(("peek", queue.peek_time()))
+    while True:
+        event = queue.pop()
+        if event is None:
+            break
+        trace.append(("pop", event.time, event.seq))
+    trace.append(("final", len(queue), queue.peek_time()))
+    return trace
+
+
+@PROFILE
+@given(op_scripts())
+def test_trace_matches_heap_oracle(ops):
+    """Identical op scripts yield identical observable traces."""
+    assert _apply(CalendarQueue(), ops) == _apply(EventQueue(), ops)
+
+
+# ----------------------------------------------------------------------
+# Simulator-level: rescheduling and cancelling from inside callbacks
+# ----------------------------------------------------------------------
+
+def _dynamic_trace(backend, seed, spawn_cap=300):
+    """Run a self-rescheduling workload; returns the (time, tag) log.
+
+    Every callback may schedule more events (zero-delay bursts
+    included) and cancel a pending one — all driven by one RNG, so two
+    backends diverge iff they dispatch events in different orders.
+    """
+    sim = Simulator(queue=backend)
+    rng = random.Random(seed)
+    log = []
+    pending = {}
+    tags = itertools.count()
+    spawned = [0]
+
+    def schedule(delay):
+        tag = next(tags)
+        spawned[0] += 1
+        pending[tag] = sim.schedule(delay, make_action(tag))
+
+    def make_action(tag):
+        def action():
+            pending.pop(tag, None)
+            log.append((sim.now, tag))
+            if spawned[0] < spawn_cap:
+                for _ in range(rng.randrange(3)):
+                    delay = 0.0 if rng.random() < 0.25 else rng.uniform(0, 2.0)
+                    schedule(delay)
+            if pending and rng.random() < 0.3:
+                keys = sorted(pending)
+                victim = keys[rng.randrange(len(keys))]
+                sim.cancel(pending.pop(victim))
+        return action
+
+    for _ in range(8):
+        schedule(rng.uniform(0, 1.0))
+    sim.run()
+    return log, sim.processed_events, sim.now
+
+
+@PROFILE
+@given(st.integers(min_value=0, max_value=10 ** 6))
+def test_reschedule_from_callbacks_matches_heap(seed):
+    """Dispatch order is identical even when callbacks reschedule."""
+    assert _dynamic_trace("calendar", seed) == _dynamic_trace("heap", seed)
+
+
+# ----------------------------------------------------------------------
+# directed edges
+# ----------------------------------------------------------------------
+
+def test_same_time_burst_pops_fifo():
+    queue = CalendarQueue()
+    events = [queue.push(1.5, lambda: None) for _ in range(64)]
+    queue.push(0.5, lambda: None)
+    assert queue.pop().time == 0.5
+    for expected in events:
+        popped = queue.pop()
+        assert (popped.time, popped.seq) == (expected.time, expected.seq)
+    assert queue.pop() is None
+
+
+def test_push_earlier_after_pops_rewinds_cursor():
+    """A late push far before the cursor must still pop first."""
+    queue = CalendarQueue()
+    queue.push(6766.99, lambda: None)
+    assert queue.peek_time() == 6766.99
+    queue.push(0.25, lambda: None)
+    assert queue.pop().time == 0.25
+    assert queue.pop().time == 6766.99
+
+
+def test_cancelled_events_are_skipped_and_uncounted():
+    queue = CalendarQueue()
+    keep = queue.push(2.0, lambda: None)
+    drop = queue.push(1.0, lambda: None)
+    drop.cancel()
+    queue.note_cancelled()
+    assert len(queue) == 1
+    assert queue.peek_time() == 2.0
+    popped = queue.pop()
+    assert popped is keep
+    assert queue.pop() is None
+
+
+def test_resize_preserves_order_across_growth():
+    queue = CalendarQueue()
+    oracle = EventQueue()
+    rng = random.Random(99)
+    for _ in range(4000):   # far past every resize trigger
+        t = rng.uniform(0, 1e4)
+        queue.push(t, lambda: None)
+        oracle.push(t, lambda: None)
+    while True:
+        a, b = queue.pop(), oracle.pop()
+        assert (a is None) == (b is None)
+        if a is None:
+            break
+        assert (a.time, a.seq) == (b.time, b.seq)
+
+
+def test_non_finite_times_rejected():
+    queue = CalendarQueue()
+    with pytest.raises(SimulationError):
+        queue.push(float("nan"), lambda: None)
+    # The calendar is stricter than the heap here: infinite times have
+    # no bucket year, so they are rejected up front instead of
+    # saturating the clock.
+    with pytest.raises(SimulationError):
+        queue.push(float("inf"), lambda: None)
+
+
+def test_simulator_rejects_unknown_backend():
+    with pytest.raises(SimulationError):
+        Simulator(queue="bogus")
+    for name in QUEUE_BACKENDS:
+        assert Simulator(queue=name).queue_backend == name

@@ -1,0 +1,148 @@
+"""Engine determinism goldens: all 8 engine combinations, one result.
+
+The engine overhaul (calendar-queue scheduler, interned Kautz IDs,
+pooled packets — :class:`~repro.sim.engine.EngineConfig`) is purely a
+host-performance knob: every combination of the three toggles must
+produce **byte-identical** run metrics.  This suite pins that on a
+full-stack scenario (chaos fault injection + recovery + QoS bursty
+workload + telemetry), comparing exact ``RunResult`` metrics, per-class
+funnels and the complete registry snapshot across:
+
+* all 8 {heap, calendar} x {string, interned} x {plain, pooled}
+  combinations, against the all-reference run;
+* ``engine=None`` (the legacy default) against the explicit reference;
+* a pooled run with recycling *active* (no recovery installed — the
+  ARQ layer is what forbids recycling) against the plain run;
+* a same-seed repeat at n=2000 sensors on the all-fast engine, pinning
+  construction-scale determinism.
+"""
+
+import itertools
+
+import pytest
+
+from repro.chaos.spec import FaultSpec
+from repro.experiments.config import ScenarioConfig
+from repro.experiments.runner import run_scenario
+from repro.qos.config import BurstyConfig, QosConfig
+from repro.recovery.config import RecoveryConfig
+from repro.sim.engine import EngineConfig
+from repro.telemetry.config import TelemetryConfig
+
+#: Every numeric field a run produces; compared with == (exact floats).
+METRIC_FIELDS = (
+    "throughput_bps",
+    "mean_delay_s",
+    "comm_energy_j",
+    "construction_energy_j",
+    "generated",
+    "delivered_qos",
+    "delivered_total",
+    "dropped",
+    "flood_comm_energy_j",
+)
+
+#: Chaos + recovery + QoS + telemetry, small enough for 9 runs.
+FULL_STACK = ScenarioConfig(
+    seed=11,
+    sensor_count=40,
+    area_side=220.0,
+    sim_time=12.0,
+    warmup=2.0,
+    rate_pps=5.0,
+    fault_spec=(FaultSpec(kind="rotation", start=3.0),),
+    recovery=RecoveryConfig(),
+    telemetry=TelemetryConfig(),
+    qos=QosConfig(),
+    bursty=BurstyConfig(sources=4),
+)
+
+ALL_ENGINES = [
+    EngineConfig(scheduler=sched, interned_ids=interned, pooled_packets=pooled)
+    for sched, interned, pooled in itertools.product(
+        ("heap", "calendar"), (False, True), (False, True)
+    )
+]
+
+
+def _signature(result) -> str:
+    """The full observable outcome of a run, as one comparable string."""
+    base = {field: getattr(result, field) for field in METRIC_FIELDS}
+    base["class_stats"] = result.class_stats
+    if result.telemetry is not None:
+        base["registry"] = sorted(
+            repr((
+                sample.name,
+                sample.labels,
+                getattr(sample.metric, "value", None),
+                tuple(sample.metric.bucket_counts())
+                if hasattr(sample.metric, "bucket_counts")
+                else None,
+            ))
+            for sample in result.telemetry.registry.collect()
+        )
+    return repr(base)
+
+
+@pytest.fixture(scope="module")
+def reference_signature():
+    return _signature(
+        run_scenario("REFER", FULL_STACK.with_(engine=EngineConfig.reference()))
+    )
+
+
+@pytest.mark.parametrize(
+    "engine", ALL_ENGINES, ids=lambda e: (
+        f"{e.scheduler}-"
+        f"{'interned' if e.interned_ids else 'strings'}-"
+        f"{'pooled' if e.pooled_packets else 'plain'}"
+    )
+)
+def test_all_engine_combinations_byte_identical(engine, reference_signature):
+    result = run_scenario("REFER", FULL_STACK.with_(engine=engine))
+    assert _signature(result) == reference_signature
+
+
+def test_engine_none_is_the_reference(reference_signature):
+    result = run_scenario("REFER", FULL_STACK)
+    assert _signature(result) == reference_signature
+
+
+def test_pooled_recycling_active_is_byte_identical():
+    """Without recovery the pool actually recycles; results must hold.
+
+    The FULL_STACK combos above run with the ARQ layer installed, which
+    disables recycling (uid parity only); this pins the recycling path
+    itself, through the QoS scheduler and the plain MAC alike.
+    """
+    base = ScenarioConfig(
+        seed=7,
+        sensor_count=40,
+        area_side=220.0,
+        sim_time=12.0,
+        warmup=2.0,
+        rate_pps=6.0,
+        telemetry=TelemetryConfig(),
+        qos=QosConfig(),
+        bursty=BurstyConfig(sources=4),
+    )
+    plain = run_scenario("REFER", base)
+    pooled = run_scenario("REFER", base.with_(engine=EngineConfig.fast()))
+    assert _signature(pooled) == _signature(plain)
+
+
+def test_same_seed_repeat_at_n2000():
+    """Construction-scale determinism: two n=2000 fast runs agree."""
+    config = ScenarioConfig(
+        seed=3,
+        sensor_count=2000,
+        area_side=500.0,
+        sim_time=6.0,
+        warmup=1.0,
+        rate_pps=2.0,
+        engine=EngineConfig.fast(),
+    )
+    first = run_scenario("REFER", config)
+    second = run_scenario("REFER", config)
+    assert _signature(first) == _signature(second)
+    assert first.generated > 0 and first.delivered_total > 0

@@ -1,0 +1,115 @@
+"""The per-class delivery-latency histograms, pinned against the
+flight recorder.
+
+``qos_class_latency_seconds`` (one histogram child per traffic class,
+exported by :class:`~repro.experiments.metrics.MetricsCollector`)
+observes every delivered QoS-marked packet, warm-up included — exactly
+like its sibling ``qos_class_*`` counters.  The flight recorder sees
+the same deliveries as journey generate/deliver timestamps, so the two
+views must agree bucket-for-bucket: folding each journey's
+``deliver.time - generate.time`` into the same bucket bounds must
+reproduce the histogram counts exactly.
+"""
+
+import bisect
+
+from repro.experiments.config import ScenarioConfig
+from repro.experiments.metrics import _LATENCY_BUCKETS
+from repro.experiments.runner import run_scenario
+from repro.qos.config import BurstyConfig, QosConfig
+from repro.telemetry.config import TelemetryConfig
+
+
+def _run():
+    config = ScenarioConfig(
+        seed=19,
+        sensor_count=40,
+        area_side=220.0,
+        sim_time=12.0,
+        warmup=2.0,
+        rate_pps=5.0,
+        telemetry=TelemetryConfig(),
+        qos=QosConfig(),
+        bursty=BurstyConfig(sources=4),
+    )
+    return run_scenario("REFER", config)
+
+
+def _journey_latencies(flight):
+    """(generate → deliver) latency of every delivered journey."""
+    latencies = []
+    for journey in flight.journeys():
+        generated = delivered = None
+        for event in journey.events:
+            if event.kind == "generate":
+                generated = event.time
+            elif event.kind == "deliver":
+                delivered = event.time
+        if generated is not None and delivered is not None:
+            latencies.append(delivered - generated)
+    return latencies
+
+
+def test_bucket_counts_match_flight_recorder_journeys():
+    result = _run()
+    registry = result.telemetry.registry
+    family = registry.get("qos_class_latency_seconds")
+    assert family is not None, "QoS run must export per-class latency"
+
+    # No journeys were evicted at this scale, so the recorder holds the
+    # complete delivery record the histograms observed.
+    flight = result.telemetry.flight
+    assert flight.journeys_evicted == 0
+    latencies = _journey_latencies(flight)
+    assert latencies, "scenario must deliver packets"
+
+    expected = [0] * (len(_LATENCY_BUCKETS) + 1)
+    for latency in latencies:
+        expected[bisect.bisect_left(_LATENCY_BUCKETS, latency)] += 1
+
+    merged = [0] * (len(_LATENCY_BUCKETS) + 1)
+    total = 0
+    for labels, hist in family.items():
+        assert hist.bounds == _LATENCY_BUCKETS
+        for index, count in enumerate(hist.bucket_counts()):
+            merged[index] += count
+        total += hist.count
+        # Each class child observed exactly the deliveries its sibling
+        # counter recorded.
+        delivered_family = registry.get("qos_class_delivered")
+        assert hist.count == delivered_family.value_at(*labels)
+    assert total == len(latencies)
+    assert merged == expected
+
+
+def test_class_children_partition_all_deliveries():
+    """Summed class-latency observations equal the all-packet histogram.
+
+    The bursty workload marks every packet, so the unlabelled
+    ``delivery_latency_seconds`` histogram and the per-class family see
+    the same observation stream.
+    """
+    result = _run()
+    registry = result.telemetry.registry
+    overall = registry.get("delivery_latency_seconds").child()
+    family = registry.get("qos_class_latency_seconds")
+    merged = [0] * len(overall.bucket_counts())
+    for _labels, hist in family.items():
+        for index, count in enumerate(hist.bucket_counts()):
+            merged[index] += count
+    assert merged == overall.bucket_counts()
+
+
+def test_unmarked_runs_export_no_class_latency():
+    """CBR (unmarked) runs keep the registry exactly as it was."""
+    config = ScenarioConfig(
+        seed=5,
+        sensor_count=40,
+        area_side=220.0,
+        sim_time=8.0,
+        warmup=2.0,
+        rate_pps=5.0,
+        telemetry=TelemetryConfig(),
+    )
+    result = run_scenario("REFER", config)
+    assert result.telemetry.registry.get("qos_class_latency_seconds") is None
