@@ -46,3 +46,8 @@ class ConfigError(ReproError):
 
 class TelemetryError(ReproError):
     """The telemetry registry/recorder was used incorrectly."""
+
+
+class CampaignError(ReproError):
+    """The parallel campaign supervisor hit unrecoverable state
+    (corrupt journal, malformed worker payload, broken worker pool)."""

@@ -17,8 +17,25 @@ from repro.experiments.figures import (
     fig11_total_energy_vs_size,
 )
 from repro.experiments.report import format_figure
+from repro.experiments.journal import CampaignJournal, spec_fingerprint
+from repro.experiments.parallel import (
+    CampaignSupervisor,
+    FailedJob,
+    RetryPolicy,
+    WorkerFaultInjector,
+    parallel_campaign,
+    parallel_resilience_campaign,
+)
 
 __all__ = [
+    "CampaignJournal",
+    "CampaignSupervisor",
+    "FailedJob",
+    "RetryPolicy",
+    "WorkerFaultInjector",
+    "parallel_campaign",
+    "parallel_resilience_campaign",
+    "spec_fingerprint",
     "FaultConfig",
     "ScenarioConfig",
     "MetricsCollector",

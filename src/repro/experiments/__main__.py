@@ -76,6 +76,24 @@ def build_parser() -> argparse.ArgumentParser:
         help="override the figure's x-axis sweep values "
         "(speeds for fig4/5, fault counts for fig6/7, sizes for fig8-11)",
     )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        help="campaign only: worker processes for the supervised "
+        "parallel runner (0 = classic in-process serial loop)",
+    )
+    parser.add_argument(
+        "--journal",
+        help="campaign only: JSONL checkpoint journal path; completed "
+        "jobs are recorded as they finish",
+    )
+    parser.add_argument(
+        "--resume",
+        action="store_true",
+        help="campaign only: replay the journal before running and "
+        "re-execute only the jobs it is missing",
+    )
     return parser
 
 
@@ -105,12 +123,21 @@ def base_config(args: argparse.Namespace) -> ScenarioConfig:
 
 def main(argv=None) -> int:
     args = build_parser().parse_args(argv)
+    if args.resume and not args.journal:
+        print("error: --resume needs --journal", file=sys.stderr)
+        return 2
     if args.command == "campaign":
         from repro.experiments.campaign import campaign_report, run_campaign
 
-        result = run_campaign(base_config(args), seeds=args.seeds)
+        result = run_campaign(
+            base_config(args),
+            seeds=args.seeds,
+            workers=args.workers,
+            journal=args.journal,
+            resume=args.resume,
+        )
         print(campaign_report(result))
-        return 0
+        return 0 if not result.failed_jobs else 3
     if args.command == "run":
         if args.system is None:
             print("error: 'run' needs a system name", file=sys.stderr)

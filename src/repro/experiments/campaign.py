@@ -11,16 +11,25 @@ document — the machinery behind ``EXPERIMENTS.md``-style write-ups::
 
 Thanks to the runner's memoisation, figures that share sweep points
 (Figs 8-11 all sweep network size) are computed once.
+
+Passing ``workers``/``journal``/``resume`` routes the same grid
+through the supervised multiprocess runner
+(:mod:`repro.experiments.parallel`): jobs fan out across worker
+processes, completions checkpoint to a JSONL journal, and the merge is
+keyed on stable job identities — so the parallel result (and a
+killed-and-resumed one) is byte-identical to this serial loop.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Dict, List, Mapping, Optional, Sequence
 
 from repro.errors import ConfigError
 from repro.experiments.config import ScenarioConfig
 from repro.experiments.figures import (
+    ALL_SYSTEMS,
+    FIGURE_SPECS,
     FigureData,
     fig4_throughput_vs_mobility,
     fig5_energy_vs_mobility,
@@ -30,10 +39,11 @@ from repro.experiments.figures import (
     fig9_energy_vs_size,
     fig10_construction_energy_vs_size,
     fig11_total_energy_vs_size,
+    sweep_figure,
 )
 from repro.experiments.report import format_figure
 
-FIGURE_FUNCTIONS: Dict[str, Callable] = {
+FIGURE_FUNCTIONS: Dict[str, object] = {
     "fig4": fig4_throughput_vs_mobility,
     "fig5": fig5_energy_vs_mobility,
     "fig6": fig6_delay_vs_faults,
@@ -52,6 +62,13 @@ class CampaignResult:
     base: ScenarioConfig
     seeds: int
     figures: Dict[str, FigureData] = field(default_factory=dict)
+    #: Quarantined jobs of a parallel campaign
+    #: (:class:`repro.experiments.parallel.FailedJob`); empty for
+    #: serial campaigns and all-healthy parallel ones.
+    failed_jobs: tuple = ()
+    #: Deterministic merge of the per-job telemetry registry snapshots
+    #: (parallel campaigns over a telemetry-enabled base config only).
+    merged_registry: Optional[dict] = None
 
     def __getitem__(self, name: str) -> FigureData:
         return self.figures[name]
@@ -60,21 +77,69 @@ class CampaignResult:
         return list(self.figures)
 
 
+def select_figures(figures: Optional[Sequence[str]]) -> List[str]:
+    """Validate a figure subset (None = all, in canonical order)."""
+    selected = list(figures) if figures is not None else list(FIGURE_SPECS)
+    unknown = [name for name in selected if name not in FIGURE_SPECS]
+    if unknown:
+        raise ConfigError(f"unknown figures: {unknown}")
+    return selected
+
+
+def campaign_axes(
+    selected: Sequence[str],
+    sweeps: Optional[Mapping[str, Sequence[float]]] = None,
+) -> Dict[str, tuple]:
+    """The x-axis per selected figure (``sweeps`` overrides defaults)."""
+    sweeps = dict(sweeps) if sweeps else {}
+    unknown = [name for name in sweeps if name not in selected]
+    if unknown:
+        raise ConfigError(f"sweep overrides for unselected figures: {unknown}")
+    return {
+        name: tuple(sweeps.get(name, FIGURE_SPECS[name].default_xs))
+        for name in selected
+    }
+
+
 def run_campaign(
     base: ScenarioConfig = ScenarioConfig(),
     seeds: int = 2,
     figures: Optional[Sequence[str]] = None,
+    systems: Sequence[str] = ALL_SYSTEMS,
+    sweeps: Optional[Mapping[str, Sequence[float]]] = None,
+    workers: int = 0,
+    journal: Optional[str] = None,
+    resume: bool = False,
 ) -> CampaignResult:
-    """Regenerate the selected figures (default: all of Figs 4-11)."""
+    """Regenerate the selected figures (default: all of Figs 4-11).
+
+    ``workers > 0`` (or a ``journal``/``resume`` request) hands the
+    grid to :func:`repro.experiments.parallel.parallel_campaign`; the
+    default keeps the memoised in-process loop, byte-identical to every
+    release since the seed.
+    """
     if seeds < 1:
         raise ConfigError("seeds must be >= 1")
-    selected = list(figures) if figures is not None else list(FIGURE_FUNCTIONS)
-    unknown = [name for name in selected if name not in FIGURE_FUNCTIONS]
-    if unknown:
-        raise ConfigError(f"unknown figures: {unknown}")
+    selected = select_figures(figures)
+    axes = campaign_axes(selected, sweeps)
+    if workers or journal is not None or resume:
+        from repro.experiments.parallel import parallel_campaign
+
+        return parallel_campaign(
+            base,
+            seeds=seeds,
+            figures=selected,
+            systems=systems,
+            sweeps=axes,
+            workers=workers,
+            journal=journal,
+            resume=resume,
+        )
     result = CampaignResult(base=base, seeds=seeds)
     for name in selected:
-        result.figures[name] = FIGURE_FUNCTIONS[name](base, seeds=seeds)
+        result.figures[name] = sweep_figure(
+            FIGURE_SPECS[name], base, axes[name], systems, seeds
+        )
     return result
 
 
@@ -96,5 +161,14 @@ def campaign_report(result: CampaignResult) -> str:
         lines.append("```")
         lines.append(format_figure(data))
         lines.append("```")
+        lines.append("")
+    if result.failed_jobs:
+        lines.append("## Failed jobs")
+        lines.append("")
+        for job in result.failed_jobs:
+            lines.append(
+                f"- `{job.key}` — {job.reason} after {job.attempts} "
+                f"attempt(s): {job.detail}"
+            )
         lines.append("")
     return "\n".join(lines)

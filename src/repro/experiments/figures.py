@@ -3,12 +3,21 @@
 Each function sweeps the paper's x-axis, runs every system ``seeds``
 times per point, and returns a :class:`FigureData` with per-point mean
 and 95% confidence half-width — the same series the paper plots.
+
+Every figure is described declaratively by a :class:`FigureSpec` in
+:data:`FIGURE_SPECS`: the sweep axis, how one ``(x, seed)`` point maps
+to a :class:`~repro.experiments.config.ScenarioConfig`, and which
+:class:`~repro.experiments.runner.RunResult` metric the y-axis reads.
+The serial sweeps (:func:`sweep_figure`) and the parallel campaign
+runner (:mod:`repro.experiments.parallel`) both consume the same spec,
+which is what makes the parallel merge byte-identical to the serial
+loop: decomposition and aggregation cannot drift apart.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Sequence
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.experiments.config import FaultConfig, ScenarioConfig
 from repro.experiments.runner import RunResult, run_scenario_cached
@@ -50,34 +59,210 @@ class FigureData:
         return [p.x for p in first]
 
 
-def _sweep(
-    figure: str,
-    title: str,
-    xlabel: str,
-    ylabel: str,
+# ---------------------------------------------------------------------------
+# Declarative figure specs
+# ---------------------------------------------------------------------------
+
+
+def _mobility_config(base: ScenarioConfig, x: float, seed: int) -> ScenarioConfig:
+    return base.with_(sensor_max_speed=x, seed=seed)
+
+
+def _faults_config(base: ScenarioConfig, x: float, seed: int) -> ScenarioConfig:
+    return base.with_(faults=FaultConfig(count=int(x)), seed=seed)
+
+
+def _size_config(base: ScenarioConfig, x: float, seed: int) -> ScenarioConfig:
+    return base.with_(sensor_count=int(x), seed=seed)
+
+
+def _metric_throughput(run: RunResult) -> float:
+    return run.throughput_bps
+
+
+def _metric_delay(run: RunResult) -> float:
+    return run.mean_delay_s
+
+
+def _metric_comm_energy(run: RunResult) -> float:
+    return run.comm_energy_j
+
+
+def _metric_construction_energy(run: RunResult) -> float:
+    return run.construction_energy_j
+
+
+def _metric_total_energy(run: RunResult) -> float:
+    return run.total_energy_j
+
+
+@dataclass(frozen=True)
+class FigureSpec:
+    """Everything one evaluation figure is made of.
+
+    ``config_for(base, x, seed)`` maps a sweep point to the scenario it
+    runs; ``metric(run)`` reads the y value off the finished run.  Both
+    are module-level functions so specs stay picklable and the parallel
+    job decomposition can reuse them verbatim.
+    """
+
+    name: str          # registry key, e.g. "fig8"
+    figure: str        # display name, e.g. "Fig 8"
+    title: str
+    xlabel: str
+    ylabel: str
+    sweep_param: str   # keyword the figure function exposes for the axis
+    default_xs: Tuple[float, ...]
+    config_for: Callable[[ScenarioConfig, float, int], ScenarioConfig]
+    metric: Callable[[RunResult], float]
+
+
+FIGURE_SPECS: Dict[str, FigureSpec] = {
+    spec.name: spec
+    for spec in (
+        FigureSpec(
+            name="fig4",
+            figure="Fig 4",
+            title="Throughput vs node mobility",
+            xlabel="max speed (m/s); paper plots avg = x/2",
+            ylabel="QoS throughput (bit/s)",
+            sweep_param="speeds",
+            default_xs=DEFAULT_MOBILITY_SPEEDS,
+            config_for=_mobility_config,
+            metric=_metric_throughput,
+        ),
+        FigureSpec(
+            name="fig5",
+            figure="Fig 5",
+            title="Communication energy vs node mobility",
+            xlabel="max speed (m/s); paper plots avg = x/2",
+            ylabel="energy (J)",
+            sweep_param="speeds",
+            default_xs=DEFAULT_MOBILITY_SPEEDS,
+            config_for=_mobility_config,
+            metric=_metric_comm_energy,
+        ),
+        FigureSpec(
+            name="fig6",
+            figure="Fig 6",
+            title="Delay vs number of faulty nodes",
+            xlabel="faulty nodes",
+            ylabel="mean delay (s)",
+            sweep_param="fault_counts",
+            default_xs=DEFAULT_FAULT_COUNTS,
+            config_for=_faults_config,
+            metric=_metric_delay,
+        ),
+        FigureSpec(
+            name="fig7",
+            figure="Fig 7",
+            title="Throughput vs number of faulty nodes",
+            xlabel="faulty nodes",
+            ylabel="QoS throughput (bit/s)",
+            sweep_param="fault_counts",
+            default_xs=DEFAULT_FAULT_COUNTS,
+            config_for=_faults_config,
+            metric=_metric_throughput,
+        ),
+        FigureSpec(
+            name="fig8",
+            figure="Fig 8",
+            title="Delay vs network size",
+            xlabel="sensors",
+            ylabel="mean delay (s)",
+            sweep_param="sizes",
+            default_xs=DEFAULT_NETWORK_SIZES,
+            config_for=_size_config,
+            metric=_metric_delay,
+        ),
+        FigureSpec(
+            name="fig9",
+            figure="Fig 9",
+            title="Communication energy vs network size",
+            xlabel="sensors",
+            ylabel="energy (J)",
+            sweep_param="sizes",
+            default_xs=DEFAULT_NETWORK_SIZES,
+            config_for=_size_config,
+            metric=_metric_comm_energy,
+        ),
+        FigureSpec(
+            name="fig10",
+            figure="Fig 10",
+            title="Topology-construction energy vs network size",
+            xlabel="sensors",
+            ylabel="energy (J)",
+            sweep_param="sizes",
+            default_xs=DEFAULT_NETWORK_SIZES,
+            config_for=_size_config,
+            metric=_metric_construction_energy,
+        ),
+        FigureSpec(
+            name="fig11",
+            figure="Fig 11",
+            title="Total energy vs network size",
+            xlabel="sensors",
+            ylabel="energy (J)",
+            sweep_param="sizes",
+            default_xs=DEFAULT_NETWORK_SIZES,
+            config_for=_size_config,
+            metric=_metric_total_energy,
+        ),
+    )
+}
+
+#: How a run is obtained for one (system, config) point.  The serial
+#: sweeps use the memoised runner; the parallel merge substitutes a
+#: lookup into the supervisor's payload map, which may return ``None``
+#: for a quarantined job (the point then averages the seeds that did
+#: complete and records the reduced sample count).
+RunProvider = Callable[[str, ScenarioConfig], Optional[RunResult]]
+
+
+def sweep_figure(
+    spec: FigureSpec,
+    base: ScenarioConfig,
     x_values: Sequence[float],
-    make_config: Callable[[float, int], ScenarioConfig],
-    metric: Callable[[RunResult], float],
     systems: Sequence[str],
     seeds: int,
+    run: RunProvider = run_scenario_cached,
 ) -> FigureData:
-    data = FigureData(figure=figure, title=title, xlabel=xlabel, ylabel=ylabel)
+    """Sweep one figure's grid and aggregate it into a :class:`FigureData`.
+
+    Aggregation is deterministic in the grid — seed order, then x
+    order, then system order — never in completion order, so any
+    ``run`` provider that returns equal :class:`RunResult` values
+    yields a byte-identical figure.
+    """
+    data = FigureData(
+        figure=spec.figure,
+        title=spec.title,
+        xlabel=spec.xlabel,
+        ylabel=spec.ylabel,
+    )
     for system in systems:
         points: List[SeriesPoint] = []
         for x in x_values:
-            values = [
-                metric(run_scenario_cached(system, make_config(x, seed)))
-                for seed in range(1, seeds + 1)
-            ]
-            mean, ci = confidence_interval_95(values)
-            points.append(SeriesPoint(x=x, mean=mean, ci95=ci, samples=seeds))
+            values: List[float] = []
+            for seed in range(1, seeds + 1):
+                result = run(system, spec.config_for(base, x, seed))
+                if result is None:
+                    continue
+                values.append(spec.metric(result))
+            if values:
+                mean, ci = confidence_interval_95(values)
+            else:
+                mean, ci = float("nan"), 0.0
+            points.append(
+                SeriesPoint(x=x, mean=mean, ci95=ci, samples=len(values))
+            )
         data.series[system] = points
     return data
 
 
-# ---------------------------------------------------------------------------
-# Mobility resilience (Section IV-A)
-# ---------------------------------------------------------------------------
+# The public per-figure functions keep their historical signatures
+# (the sweep keyword is the spec's ``sweep_param``); each is a thin
+# shim over :func:`sweep_figure` on the shared spec.
 
 
 def fig4_throughput_vs_mobility(
@@ -87,17 +272,7 @@ def fig4_throughput_vs_mobility(
     seeds: int = 3,
 ) -> FigureData:
     """Fig 4: throughput vs average node mobility (x/2 m/s)."""
-    return _sweep(
-        "Fig 4",
-        "Throughput vs node mobility",
-        "max speed (m/s); paper plots avg = x/2",
-        "QoS throughput (bit/s)",
-        speeds,
-        lambda x, seed: base.with_(sensor_max_speed=x, seed=seed),
-        lambda r: r.throughput_bps,
-        systems,
-        seeds,
-    )
+    return sweep_figure(FIGURE_SPECS["fig4"], base, speeds, systems, seeds)
 
 
 def fig5_energy_vs_mobility(
@@ -107,22 +282,7 @@ def fig5_energy_vs_mobility(
     seeds: int = 3,
 ) -> FigureData:
     """Fig 5: energy consumed in communication vs node mobility."""
-    return _sweep(
-        "Fig 5",
-        "Communication energy vs node mobility",
-        "max speed (m/s); paper plots avg = x/2",
-        "energy (J)",
-        speeds,
-        lambda x, seed: base.with_(sensor_max_speed=x, seed=seed),
-        lambda r: r.comm_energy_j,
-        systems,
-        seeds,
-    )
-
-
-# ---------------------------------------------------------------------------
-# Fault-tolerant routing (Section IV-B)
-# ---------------------------------------------------------------------------
+    return sweep_figure(FIGURE_SPECS["fig5"], base, speeds, systems, seeds)
 
 
 def fig6_delay_vs_faults(
@@ -132,18 +292,8 @@ def fig6_delay_vs_faults(
     seeds: int = 3,
 ) -> FigureData:
     """Fig 6: average transmission delay vs number of faulty nodes."""
-    return _sweep(
-        "Fig 6",
-        "Delay vs number of faulty nodes",
-        "faulty nodes",
-        "mean delay (s)",
-        fault_counts,
-        lambda x, seed: base.with_(
-            faults=FaultConfig(count=int(x)), seed=seed
-        ),
-        lambda r: r.mean_delay_s,
-        systems,
-        seeds,
+    return sweep_figure(
+        FIGURE_SPECS["fig6"], base, fault_counts, systems, seeds
     )
 
 
@@ -154,24 +304,9 @@ def fig7_throughput_vs_faults(
     seeds: int = 3,
 ) -> FigureData:
     """Fig 7: throughput vs number of faulty nodes."""
-    return _sweep(
-        "Fig 7",
-        "Throughput vs number of faulty nodes",
-        "faulty nodes",
-        "QoS throughput (bit/s)",
-        fault_counts,
-        lambda x, seed: base.with_(
-            faults=FaultConfig(count=int(x)), seed=seed
-        ),
-        lambda r: r.throughput_bps,
-        systems,
-        seeds,
+    return sweep_figure(
+        FIGURE_SPECS["fig7"], base, fault_counts, systems, seeds
     )
-
-
-# ---------------------------------------------------------------------------
-# Real-time transmission and scalability (Sections IV-C, IV-D)
-# ---------------------------------------------------------------------------
 
 
 def fig8_delay_vs_size(
@@ -181,17 +316,7 @@ def fig8_delay_vs_size(
     seeds: int = 3,
 ) -> FigureData:
     """Fig 8: delay vs network size (number of sensors)."""
-    return _sweep(
-        "Fig 8",
-        "Delay vs network size",
-        "sensors",
-        "mean delay (s)",
-        sizes,
-        lambda x, seed: base.with_(sensor_count=int(x), seed=seed),
-        lambda r: r.mean_delay_s,
-        systems,
-        seeds,
-    )
+    return sweep_figure(FIGURE_SPECS["fig8"], base, sizes, systems, seeds)
 
 
 def fig9_energy_vs_size(
@@ -201,17 +326,7 @@ def fig9_energy_vs_size(
     seeds: int = 3,
 ) -> FigureData:
     """Fig 9: energy consumed in communication vs network size."""
-    return _sweep(
-        "Fig 9",
-        "Communication energy vs network size",
-        "sensors",
-        "energy (J)",
-        sizes,
-        lambda x, seed: base.with_(sensor_count=int(x), seed=seed),
-        lambda r: r.comm_energy_j,
-        systems,
-        seeds,
-    )
+    return sweep_figure(FIGURE_SPECS["fig9"], base, sizes, systems, seeds)
 
 
 def fig10_construction_energy_vs_size(
@@ -221,17 +336,7 @@ def fig10_construction_energy_vs_size(
     seeds: int = 3,
 ) -> FigureData:
     """Fig 10: energy consumed in topology construction vs network size."""
-    return _sweep(
-        "Fig 10",
-        "Topology-construction energy vs network size",
-        "sensors",
-        "energy (J)",
-        sizes,
-        lambda x, seed: base.with_(sensor_count=int(x), seed=seed),
-        lambda r: r.construction_energy_j,
-        systems,
-        seeds,
-    )
+    return sweep_figure(FIGURE_SPECS["fig10"], base, sizes, systems, seeds)
 
 
 def fig11_total_energy_vs_size(
@@ -241,14 +346,4 @@ def fig11_total_energy_vs_size(
     seeds: int = 3,
 ) -> FigureData:
     """Fig 11: total energy (communication + construction) vs size."""
-    return _sweep(
-        "Fig 11",
-        "Total energy vs network size",
-        "sensors",
-        "energy (J)",
-        sizes,
-        lambda x, seed: base.with_(sensor_count=int(x), seed=seed),
-        lambda r: r.total_energy_j,
-        systems,
-        seeds,
-    )
+    return sweep_figure(FIGURE_SPECS["fig11"], base, sizes, systems, seeds)

@@ -1,0 +1,257 @@
+"""The campaign checkpoint journal: crash-safe JSONL job ledger.
+
+A :class:`CampaignJournal` records every finished campaign job — key,
+spec hash, attempt count and the merged-from payload blob — as one
+JSON line appended (and flushed) the moment the supervisor accepts the
+result.  Killing the coordinator therefore loses at most the job that
+was being written; resuming replays the journal, reuses every recorded
+payload, and re-executes only the remainder.  Because the campaign
+merge is keyed on job keys (never on completion order), a resumed
+campaign is byte-identical to an uninterrupted one.
+
+Robustness rules, in order:
+
+* **config fingerprint** — the header line carries a hash of the
+  campaign grid (kind, base scenario, seeds, axes); resuming against a
+  journal written for a different grid raises a typed
+  :class:`~repro.errors.ConfigError` instead of silently merging stale
+  results, and each job line additionally carries its own spec hash;
+* **truncated tail tolerated** — a coordinator killed mid-write leaves
+  a partial last line; replay drops exactly that line (a corrupt line
+  anywhere *else* is real damage and raises
+  :class:`~repro.errors.CampaignError`);
+* **no wall clock** — entries are content-addressed, not timestamped,
+  so journals of identical campaigns are byte-comparable.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import io
+import json
+import os
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import CampaignError, ConfigError
+
+JOURNAL_VERSION = 1
+
+
+def spec_fingerprint(*parts: object) -> str:
+    """A stable hex fingerprint of an arbitrary repr-able spec tuple.
+
+    Relies on ``repr`` of the (frozen, stdlib-typed) config dataclasses
+    being deterministic; the same grid always fingerprints the same.
+    """
+    text = repr(tuple(parts))
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+@dataclass(frozen=True)
+class JournalEntry:
+    """One replayed job line."""
+
+    key: str
+    spec_hash: str
+    status: str              # "done" | "failed"
+    attempts: int
+    payload: Optional[dict]  # result blob for "done", None for "failed"
+    reason: str = ""         # failure kind for "failed" entries
+    detail: str = ""
+
+
+class CampaignJournal:
+    """Append-only JSONL ledger of one campaign's job completions.
+
+    ``resume=False`` starts a fresh ledger (an existing file is
+    truncated — the journal is a checkpoint, not an archive);
+    ``resume=True`` replays an existing ledger first and then appends
+    to it.  A missing file under ``resume=True`` degrades to a fresh
+    start so driver loops can pass ``--resume`` unconditionally.
+    """
+
+    def __init__(
+        self, path: str, fingerprint: str, *, resume: bool = False
+    ) -> None:
+        self.path = str(path)
+        self.fingerprint = fingerprint
+        self.entries: Dict[str, JournalEntry] = {}
+        if resume and os.path.exists(self.path):
+            self._replay()
+            self._handle: io.TextIOWrapper = open(
+                self.path, "a", encoding="utf-8"
+            )
+        else:
+            self._handle = open(self.path, "w", encoding="utf-8")
+            self._write_line(
+                {
+                    "type": "campaign",
+                    "version": JOURNAL_VERSION,
+                    "fingerprint": self.fingerprint,
+                }
+            )
+
+    # -- replay --------------------------------------------------------------
+
+    def _replay(self) -> None:
+        with open(self.path, "r", encoding="utf-8") as handle:
+            raw_lines = handle.read().split("\n")
+        # Trailing newline yields one empty tail element; drop it so the
+        # "last line" below is the last *written* line.
+        while raw_lines and raw_lines[-1] == "":
+            raw_lines.pop()
+        records: List[dict] = []
+        for index, line in enumerate(raw_lines):
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                if index == len(raw_lines) - 1:
+                    # The coordinator died mid-append; the job it was
+                    # recording reruns, everything before it is intact.
+                    break
+                raise CampaignError(
+                    f"journal {self.path!r} is corrupt at line {index + 1} "
+                    "(not the final line, so this is not a torn tail write)"
+                )
+            if not isinstance(record, dict):
+                raise CampaignError(
+                    f"journal {self.path!r} line {index + 1} is not an object"
+                )
+            records.append(record)
+        if not records:
+            return
+        header = records[0]
+        if header.get("type") != "campaign":
+            raise CampaignError(
+                f"journal {self.path!r} does not start with a campaign header"
+            )
+        if header.get("version") != JOURNAL_VERSION:
+            raise CampaignError(
+                f"journal {self.path!r} has version "
+                f"{header.get('version')!r}, expected {JOURNAL_VERSION}"
+            )
+        if header.get("fingerprint") != self.fingerprint:
+            raise ConfigError(
+                "campaign journal fingerprint mismatch: the journal was "
+                "written for a different campaign grid (base config, seeds "
+                "or axes changed); refusing to merge stale results from "
+                f"{self.path!r}"
+            )
+        for record in records[1:]:
+            if record.get("type") != "job":
+                raise CampaignError(
+                    f"journal {self.path!r} contains an unknown record "
+                    f"type {record.get('type')!r}"
+                )
+            entry = JournalEntry(
+                key=str(record.get("key", "")),
+                spec_hash=str(record.get("spec_hash", "")),
+                status=str(record.get("status", "")),
+                attempts=int(record.get("attempts", 0)),
+                payload=record.get("payload"),
+                reason=str(record.get("reason", "")),
+                detail=str(record.get("detail", "")),
+            )
+            if entry.status not in ("done", "failed"):
+                raise CampaignError(
+                    f"journal {self.path!r} job {entry.key!r} has unknown "
+                    f"status {entry.status!r}"
+                )
+            # Later lines win: a job retried after a recorded failure
+            # overwrites the failure with its eventual success.
+            self.entries[entry.key] = entry
+
+    # -- append --------------------------------------------------------------
+
+    def _write_line(self, record: dict) -> None:
+        self._handle.write(json.dumps(record, sort_keys=True) + "\n")
+        self._handle.flush()
+
+    def record_done(
+        self, key: str, spec_hash: str, attempts: int, payload: dict
+    ) -> None:
+        """Checkpoint one successfully merged job result."""
+        entry = JournalEntry(
+            key=key,
+            spec_hash=spec_hash,
+            status="done",
+            attempts=attempts,
+            payload=payload,
+        )
+        self.entries[key] = entry
+        self._write_line(
+            {
+                "type": "job",
+                "key": key,
+                "spec_hash": spec_hash,
+                "status": "done",
+                "attempts": attempts,
+                "payload": payload,
+            }
+        )
+
+    def record_failed(
+        self, key: str, spec_hash: str, attempts: int, reason: str,
+        detail: str,
+    ) -> None:
+        """Checkpoint one quarantined (permanently failed) job."""
+        entry = JournalEntry(
+            key=key,
+            spec_hash=spec_hash,
+            status="failed",
+            attempts=attempts,
+            payload=None,
+            reason=reason,
+            detail=detail,
+        )
+        self.entries[key] = entry
+        self._write_line(
+            {
+                "type": "job",
+                "key": key,
+                "spec_hash": spec_hash,
+                "status": "failed",
+                "attempts": attempts,
+                "reason": reason,
+                "detail": detail,
+            }
+        )
+
+    def completed(self, key: str, spec_hash: str) -> Optional[dict]:
+        """The recorded payload for ``key`` (None unless done).
+
+        A recorded entry whose spec hash disagrees with the current
+        job's is stale — the grid fingerprint should have caught a grid
+        change, so a mismatch here means key collision or hand-edited
+        journal; refuse rather than merge the wrong run.
+        """
+        entry = self.entries.get(key)
+        if entry is None or entry.status != "done":
+            return None
+        if entry.spec_hash != spec_hash:
+            raise ConfigError(
+                f"journal entry for job {key!r} was recorded for a "
+                "different job spec; refusing to reuse it"
+            )
+        return entry.payload
+
+    def failures(self) -> Tuple[JournalEntry, ...]:
+        """Replayed permanently-failed entries (key-sorted)."""
+        return tuple(
+            self.entries[key]
+            for key in sorted(self.entries)
+            if self.entries[key].status == "failed"
+        )
+
+    def close(self) -> None:
+        """Flush and close the append handle (idempotent)."""
+        if not self._handle.closed:
+            self._handle.flush()
+            self._handle.close()
+
+    def __enter__(self) -> "CampaignJournal":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

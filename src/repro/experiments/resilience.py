@@ -27,7 +27,7 @@ from repro.chaos import FaultSpec
 from repro.errors import ConfigError
 from repro.experiments.config import ScenarioConfig
 from repro.experiments.figures import ALL_SYSTEMS
-from repro.experiments.runner import run_scenario_cached
+from repro.experiments.runner import RunResult, run_scenario_cached
 from repro.recovery import RecoveryConfig
 from repro.util.stats import confidence_interval_95
 
@@ -117,6 +117,13 @@ class ResilienceResult:
     base: ScenarioConfig
     seeds: int
     cells: List[ResilienceCell] = field(default_factory=list)
+    #: Quarantined jobs of a parallel campaign
+    #: (:class:`repro.experiments.parallel.FailedJob`); empty for
+    #: serial campaigns and all-healthy parallel ones.
+    failed_jobs: tuple = ()
+    #: Deterministic merge of the per-job telemetry registry snapshots
+    #: (parallel campaigns over a telemetry-enabled base config only).
+    merged_registry: Optional[dict] = None
 
     def cell(
         self, system: str, fault_class: str, intensity: int
@@ -137,6 +144,79 @@ class ResilienceResult:
         return list(seen)
 
 
+def resilience_config(
+    base: ScenarioConfig,
+    fault_class: str,
+    intensity: int,
+    seed: int,
+    recovery: Optional[RecoveryConfig] = None,
+) -> ScenarioConfig:
+    """The scenario one (fault class, intensity, seed) point runs.
+
+    Shared by the serial loop below and the parallel job decomposition
+    (:mod:`repro.experiments.parallel`), so both execute literally the
+    same configurations.
+    """
+    return base.with_(
+        seed=seed,
+        fault_spec=specs_for(fault_class, intensity, base),
+        recovery=recovery,
+    )
+
+
+def aggregate_resilience_cell(
+    system: str,
+    fault_class: str,
+    intensity: int,
+    runs: Sequence[Optional[RunResult]],
+) -> ResilienceCell:
+    """Fold one point's seed runs (in seed order) into its cell.
+
+    ``None`` entries are quarantined parallel jobs: the cell averages
+    the seeds that completed.  With every run present this is exactly
+    the serial aggregation, so parallel and serial campaigns produce
+    byte-identical cells.
+    """
+    ratios: List[float] = []
+    troughs: List[float] = []
+    recovery_s: List[float] = []
+    recovered: List[float] = []
+    flood: List[float] = []
+    detect: List[float] = []
+    fp_rates: List[float] = []
+    for run in runs:
+        if run is None:
+            continue
+        ratios.append(run.delivery_ratio)
+        flood.append(run.flood_comm_energy_j)
+        summary = run.resilience
+        if summary is not None and summary.fault_count:
+            troughs.append(summary.mean_trough)
+            recovery_s.append(summary.mean_recovery_s)
+            recovered.append(summary.recovered_fraction)
+        report = run.recovery
+        if report is not None:
+            detect.append(report.mean_time_to_detect_s)
+            fp_rates.append(report.false_positive_rate)
+    if ratios:
+        mean_ratio, ci = confidence_interval_95(ratios)
+    else:
+        mean_ratio, ci = float("nan"), 0.0
+    return ResilienceCell(
+        system=system,
+        fault_class=fault_class,
+        intensity=intensity,
+        delivery_ratio=mean_ratio,
+        delivery_ci95=ci,
+        trough=_mean(troughs, default=1.0),
+        recovery_time_s=_mean(recovery_s, default=0.0),
+        recovered_fraction=_mean(recovered, default=1.0),
+        flood_comm_energy_j=_mean(flood, default=0.0),
+        detection_latency_s=_mean(detect, default=0.0),
+        false_positive_rate=_mean(fp_rates, default=0.0),
+    )
+
+
 def resilience_campaign(
     base: ScenarioConfig = ScenarioConfig(),
     systems: Sequence[str] = ALL_SYSTEMS,
@@ -144,6 +224,9 @@ def resilience_campaign(
     intensities: Sequence[int] = DEFAULT_INTENSITIES,
     seeds: int = 2,
     recovery: Optional[RecoveryConfig] = None,
+    workers: int = 0,
+    journal: Optional[str] = None,
+    resume: bool = False,
 ) -> ResilienceResult:
     """Sweep fault class x intensity for every system.
 
@@ -156,52 +239,44 @@ def resilience_campaign(
     (:mod:`repro.recovery`) enabled — REFER then detects faults from
     heartbeat evidence instead of omnisciently, and the cells report
     detection latency and false-positive rate per fault class.
+
+    ``workers``/``journal``/``resume`` route the grid through the
+    supervised multiprocess runner
+    (:func:`repro.experiments.parallel.parallel_resilience_campaign`);
+    the default (0, None, False) keeps the in-process serial loop.
     """
     if seeds < 1:
         raise ConfigError("seeds must be >= 1")
+    if workers or journal is not None or resume:
+        from repro.experiments.parallel import parallel_resilience_campaign
+
+        return parallel_resilience_campaign(
+            base,
+            systems=systems,
+            fault_classes=fault_classes,
+            intensities=intensities,
+            seeds=seeds,
+            recovery=recovery,
+            workers=workers,
+            journal=journal,
+            resume=resume,
+        )
     result = ResilienceResult(base=base, seeds=seeds)
     for system in systems:
         for fault_class in fault_classes:
             for intensity in intensities:
-                ratios: List[float] = []
-                troughs: List[float] = []
-                recovery_s: List[float] = []
-                recovered: List[float] = []
-                flood: List[float] = []
-                detect: List[float] = []
-                fp_rates: List[float] = []
-                for seed in range(1, seeds + 1):
-                    config = base.with_(
-                        seed=seed,
-                        fault_spec=specs_for(fault_class, intensity, base),
-                        recovery=recovery,
+                runs = [
+                    run_scenario_cached(
+                        system,
+                        resilience_config(
+                            base, fault_class, intensity, seed, recovery
+                        ),
                     )
-                    run = run_scenario_cached(system, config)
-                    ratios.append(run.delivery_ratio)
-                    flood.append(run.flood_comm_energy_j)
-                    summary = run.resilience
-                    if summary is not None and summary.fault_count:
-                        troughs.append(summary.mean_trough)
-                        recovery_s.append(summary.mean_recovery_s)
-                        recovered.append(summary.recovered_fraction)
-                    report = run.recovery
-                    if report is not None:
-                        detect.append(report.mean_time_to_detect_s)
-                        fp_rates.append(report.false_positive_rate)
-                mean_ratio, ci = confidence_interval_95(ratios)
+                    for seed in range(1, seeds + 1)
+                ]
                 result.cells.append(
-                    ResilienceCell(
-                        system=system,
-                        fault_class=fault_class,
-                        intensity=intensity,
-                        delivery_ratio=mean_ratio,
-                        delivery_ci95=ci,
-                        trough=_mean(troughs, default=1.0),
-                        recovery_time_s=_mean(recovery_s, default=0.0),
-                        recovered_fraction=_mean(recovered, default=1.0),
-                        flood_comm_energy_j=_mean(flood, default=0.0),
-                        detection_latency_s=_mean(detect, default=0.0),
-                        false_positive_rate=_mean(fp_rates, default=0.0),
+                    aggregate_resilience_cell(
+                        system, fault_class, intensity, runs
                     )
                 )
     return result

@@ -35,6 +35,7 @@ KNOWN_STREAM_NAMES = frozenset(
         "recovery.detector",
         "recovery.arq",
         "qos.*",  # QoS subsystem family: "qos.workload" (bursty driver)
+        "parallel.*",  # campaign supervisor family: "parallel.retry"
     }
 )
 

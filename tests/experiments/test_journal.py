@@ -1,0 +1,193 @@
+"""Tests for the campaign checkpoint journal."""
+
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import CampaignError, ConfigError
+from repro.experiments.journal import (
+    CampaignJournal,
+    JournalEntry,
+    spec_fingerprint,
+)
+
+FP = spec_fingerprint("grid", 1)
+
+
+def _journal(path, **kwargs):
+    return CampaignJournal(str(path), FP, **kwargs)
+
+
+json_scalars = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(min_value=-(2 ** 40), max_value=2 ** 40),
+    st.floats(allow_nan=False, allow_infinity=False),
+    st.text(max_size=20),
+)
+payloads = st.dictionaries(
+    st.text(min_size=1, max_size=10),
+    st.one_of(json_scalars, st.lists(json_scalars, max_size=4)),
+    max_size=6,
+)
+
+
+class TestRoundTrip:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        entries=st.lists(
+            st.tuples(
+                st.text(
+                    alphabet="abcdef0123456789:", min_size=1, max_size=12
+                ),
+                payloads,
+                st.integers(min_value=1, max_value=5),
+            ),
+            max_size=8,
+        )
+    )
+    def test_replay_equals_recorded(self, tmp_path_factory, entries):
+        path = tmp_path_factory.mktemp("journal") / "j.jsonl"
+        with _journal(path) as journal:
+            for key, payload, attempts in entries:
+                journal.record_done(key, f"spec-{key}", attempts, payload)
+        replayed = _journal(path, resume=True)
+        expected = {}
+        for key, payload, attempts in entries:
+            expected[key] = JournalEntry(
+                key=key,
+                spec_hash=f"spec-{key}",
+                status="done",
+                attempts=attempts,
+                payload=payload,
+            )
+        assert replayed.entries == expected
+        for key in expected:
+            assert (
+                replayed.completed(key, f"spec-{key}")
+                == expected[key].payload
+            )
+        replayed.close()
+
+    def test_failed_entries_round_trip(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        with _journal(path) as journal:
+            journal.record_failed("k1", "s1", 3, "crash", "exit 17")
+            journal.record_done("k2", "s2", 1, {"ok": True})
+        replayed = _journal(path, resume=True)
+        assert replayed.completed("k1", "s1") is None
+        assert [e.key for e in replayed.failures()] == ["k1"]
+        assert replayed.failures()[0].reason == "crash"
+        replayed.close()
+
+    def test_later_lines_win(self, tmp_path):
+        """A success recorded after a failure supersedes it on replay."""
+        path = tmp_path / "j.jsonl"
+        with _journal(path) as journal:
+            journal.record_failed("k", "s", 2, "hang", "deadline")
+            journal.record_done("k", "s", 3, {"v": 1})
+        replayed = _journal(path, resume=True)
+        assert replayed.completed("k", "s") == {"v": 1}
+        assert replayed.failures() == ()
+        replayed.close()
+
+
+class TestTornTail:
+    def test_truncated_last_line_is_dropped(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        with _journal(path) as journal:
+            journal.record_done("k1", "s1", 1, {"v": 1})
+            journal.record_done("k2", "s2", 1, {"v": 2})
+        text = path.read_text(encoding="utf-8")
+        # Kill the coordinator mid-append: the k2 line loses its tail.
+        path.write_text(text[: text.rindex('"v": 2')], encoding="utf-8")
+        replayed = _journal(path, resume=True)
+        assert replayed.completed("k1", "s1") == {"v": 1}
+        assert replayed.completed("k2", "s2") is None
+        replayed.close()
+
+    def test_corrupt_middle_line_raises(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        with _journal(path) as journal:
+            journal.record_done("k1", "s1", 1, {"v": 1})
+            journal.record_done("k2", "s2", 1, {"v": 2})
+        lines = path.read_text(encoding="utf-8").splitlines()
+        lines[1] = lines[1][:10]  # not the final line: real damage
+        path.write_text("\n".join(lines) + "\n", encoding="utf-8")
+        with pytest.raises(CampaignError):
+            _journal(path, resume=True)
+
+    def test_non_object_line_raises(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        with _journal(path) as journal:
+            journal.record_done("k1", "s1", 1, {"v": 1})
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write("[1, 2]\n")
+            handle.write(json.dumps({"type": "job", "key": "k2",
+                                     "status": "done", "attempts": 1,
+                                     "spec_hash": "s2"}) + "\n")
+        with pytest.raises(CampaignError):
+            _journal(path, resume=True)
+
+
+class TestFingerprint:
+    def test_fingerprint_is_stable_and_discriminating(self):
+        assert spec_fingerprint("a", 1) == spec_fingerprint("a", 1)
+        assert spec_fingerprint("a", 1) != spec_fingerprint("a", 2)
+
+    def test_mismatched_fingerprint_raises_config_error(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        with _journal(path) as journal:
+            journal.record_done("k1", "s1", 1, {"v": 1})
+        with pytest.raises(ConfigError):
+            CampaignJournal(
+                str(path), spec_fingerprint("grid", 2), resume=True
+            )
+
+    def test_mismatched_spec_hash_raises_config_error(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        with _journal(path) as journal:
+            journal.record_done("k1", "s1", 1, {"v": 1})
+        replayed = _journal(path, resume=True)
+        with pytest.raises(ConfigError):
+            replayed.completed("k1", "other-spec")
+        replayed.close()
+
+    def test_unknown_version_raises(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        path.write_text(
+            json.dumps(
+                {"type": "campaign", "version": 99, "fingerprint": FP}
+            )
+            + "\n",
+            encoding="utf-8",
+        )
+        with pytest.raises(CampaignError):
+            _journal(path, resume=True)
+
+    def test_missing_header_raises(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        path.write_text(json.dumps({"type": "job"}) + "\n", encoding="utf-8")
+        with pytest.raises(CampaignError):
+            _journal(path, resume=True)
+
+
+class TestLifecycle:
+    def test_fresh_start_truncates(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        with _journal(path) as journal:
+            journal.record_done("k1", "s1", 1, {"v": 1})
+        with _journal(path) as journal:
+            assert journal.entries == {}
+        replayed = _journal(path, resume=True)
+        assert replayed.entries == {}
+        replayed.close()
+
+    def test_resume_without_file_starts_fresh(self, tmp_path):
+        journal = _journal(tmp_path / "missing.jsonl", resume=True)
+        assert journal.entries == {}
+        journal.record_done("k", "s", 1, {})
+        journal.close()
+        journal.close()  # idempotent

@@ -1,0 +1,396 @@
+"""Tests for the supervised parallel campaign runner.
+
+The fault-handling suites run the supervisor in serial degraded mode
+(``workers=0``) where injection is simulated in-process — fast and
+deterministic; one suite spawns real worker processes to exercise
+crash detection from exit codes and hang detection from deadlines.
+Every merged result is compared against an all-healthy oracle.
+"""
+
+import pytest
+
+from repro.errors import CampaignError, ConfigError
+from repro.experiments.campaign import run_campaign
+from repro.experiments.config import ScenarioConfig
+from repro.experiments.parallel import (
+    CampaignSupervisor,
+    RetryPolicy,
+    WorkerFaultInjector,
+    figure_jobs,
+    job_for,
+    merge_registry_snapshots,
+    parallel_campaign,
+    parallel_resilience_campaign,
+    payload_from_result,
+    result_from_payload,
+    validate_payload,
+)
+from repro.experiments.resilience import (
+    resilience_campaign,
+    resilience_config,
+)
+from repro.experiments.runner import run_scenario_cached
+from repro.telemetry.config import TelemetryConfig
+
+TINY = ScenarioConfig(sim_time=6.0, warmup=1.0, rate_pps=4.0)
+
+#: No-sleep retry policy: the suites assert retry *logic*, not pacing.
+FAST_RETRY = RetryPolicy(
+    max_attempts=3, deadline_s=60.0, backoff_base_s=0.0, backoff_max_s=0.0
+)
+
+CAMPAIGN_KW = dict(seeds=1, figures=["fig4"], sweeps={"fig4": (5.0,)})
+
+METRIC_FIELDS = (
+    "throughput_bps",
+    "mean_delay_s",
+    "comm_energy_j",
+    "construction_energy_j",
+    "generated",
+    "delivered_qos",
+    "delivered_total",
+    "dropped",
+    "flood_comm_energy_j",
+)
+
+
+def _tiny_jobs():
+    return figure_jobs(TINY, 1, {"fig4": (5.0,)}, systems=("REFER",))
+
+
+class TestPayloadCodec:
+    def test_round_trip_plain_run(self):
+        run = run_scenario_cached("REFER", TINY)
+        payload = validate_payload(payload_from_result(run))
+        rebuilt = result_from_payload("REFER", TINY, payload)
+        for field in METRIC_FIELDS:
+            assert repr(getattr(rebuilt, field)) == repr(
+                getattr(run, field)
+            ), field
+        assert rebuilt.class_stats == run.class_stats
+        assert rebuilt.fault_events == run.fault_events
+        assert rebuilt.resilience == run.resilience
+        assert rebuilt.recovery == run.recovery
+
+    def test_round_trip_faulted_run_with_recovery(self):
+        from repro.recovery import RecoveryConfig
+
+        config = resilience_config(TINY, "rotation", 2, 1, RecoveryConfig())
+        run = run_scenario_cached("REFER", config)
+        assert run.fault_events and run.resilience is not None
+        assert run.recovery is not None
+        payload = validate_payload(payload_from_result(run))
+        rebuilt = result_from_payload("REFER", config, payload)
+        assert rebuilt.fault_events == run.fault_events
+        assert rebuilt.resilience == run.resilience
+        assert rebuilt.recovery == run.recovery
+
+    def test_telemetry_run_carries_registry_snapshot(self):
+        config = TINY.with_(telemetry=TelemetryConfig())
+        run = run_scenario_cached("REFER", config)
+        payload = validate_payload(payload_from_result(run))
+        assert payload["registry"] is not None
+        merged = merge_registry_snapshots({"k": payload})
+        assert merged == run.telemetry.registry.as_dict()
+        # The rebuilt result carries no live telemetry: the snapshot
+        # lives in the campaign-level merge instead.
+        assert result_from_payload("REFER", config, payload).telemetry is None
+
+    @pytest.mark.parametrize(
+        "mutate",
+        [
+            lambda p: p.pop("metrics"),
+            lambda p: p.update(version=99),
+            lambda p: p["metrics"].update(generated="12"),
+            lambda p: p["metrics"].update(throughput_bps=None),
+            lambda p: p.update(class_stats=[["bulk", 1, 2, 3]]),
+            lambda p: p.update(fault_events=[[0.0, "m", "kind"]]),
+            lambda p: p.update(registry=[["name", [[["a"], "NaN"]]]]),
+        ],
+    )
+    def test_corrupt_payloads_rejected(self, mutate):
+        payload = payload_from_result(run_scenario_cached("REFER", TINY))
+        mutate(payload)
+        with pytest.raises(CampaignError):
+            validate_payload(payload)
+
+    def test_worker_error_payload_rejected_with_detail(self):
+        with pytest.raises(CampaignError, match="EmbeddingError"):
+            validate_payload(
+                {"version": 1, "worker_error": "EmbeddingError: too few"}
+            )
+
+
+class TestRegistryMerge:
+    def test_merge_sums_by_family_and_labels(self):
+        p1 = {"registry": [["pkts", [[["a"], 2], [["b"], 3]]]]}
+        p2 = {"registry": [["pkts", [[["a"], 5]]], ["drops", [[[], 1]]]]}
+        merged = merge_registry_snapshots({"k2": p2, "k1": p1})
+        assert merged == {
+            "drops": {(): 1},
+            "pkts": {("a",): 7, ("b",): 3},
+        }
+
+    def test_merge_is_order_independent(self):
+        p1 = {"registry": [["pkts", [[["a"], 2]]]]}
+        p2 = {"registry": [["pkts", [[["a"], 5]]]]}
+        assert merge_registry_snapshots(
+            {"k1": p1, "k2": p2}
+        ) == merge_registry_snapshots({"k2": p2, "k1": p1})
+
+    def test_no_snapshots_merges_to_none(self):
+        assert merge_registry_snapshots({"k": {"registry": None}}) is None
+        assert merge_registry_snapshots({}) is None
+
+
+class TestJobs:
+    def test_shared_sweep_points_dedupe(self):
+        # Figs 9 and 10 sweep the same sizes: one job per point, not two.
+        axes = {"fig9": (100, 150), "fig10": (100, 150)}
+        jobs = figure_jobs(TINY, 1, axes, systems=("REFER",))
+        assert len(jobs) == 2
+        assert len({j.key for j in jobs}) == 2
+
+    def test_key_is_content_addressed(self):
+        a = job_for("REFER", TINY)
+        assert a == job_for("REFER", TINY)
+        assert a.key != job_for("DaTree", TINY).key
+        assert a.key != job_for("REFER", TINY.with_(seed=2)).key
+
+    def test_duplicate_jobs_rejected(self):
+        job = job_for("REFER", TINY)
+        with pytest.raises(CampaignError):
+            CampaignSupervisor([job, job])
+
+    def test_negative_workers_rejected(self):
+        with pytest.raises(ConfigError):
+            CampaignSupervisor(_tiny_jobs(), workers=-1)
+
+
+class TestRetryPolicy:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"max_attempts": 0},
+            {"deadline_s": 0.0},
+            {"backoff_base_s": -1.0},
+            {"backoff_factor": 0.5},
+            {"jitter_frac": 1.5},
+        ],
+    )
+    def test_invalid_policies_rejected(self, kwargs):
+        with pytest.raises(ConfigError):
+            RetryPolicy(**kwargs)
+
+    def test_backoff_jitter_is_deterministic_per_job(self):
+        jobs = _tiny_jobs()
+        a = CampaignSupervisor(jobs, seed=0)._backoff_delay(jobs[0].key, 1)
+        b = CampaignSupervisor(jobs, seed=0)._backoff_delay(jobs[0].key, 1)
+        assert a == b
+        other = CampaignSupervisor(jobs, seed=1)._backoff_delay(
+            jobs[0].key, 1
+        )
+        assert a != other
+
+
+class TestSerialDegradedMode:
+    def test_workers0_campaign_equals_legacy_serial(self):
+        serial = run_campaign(TINY, **CAMPAIGN_KW)
+        supervised = parallel_campaign(TINY, workers=0, **CAMPAIGN_KW)
+        assert supervised.figures["fig4"] == serial.figures["fig4"]
+        assert supervised.failed_jobs == ()
+
+    def test_workers0_resilience_equals_legacy_serial(self):
+        kw = dict(
+            systems=("REFER",),
+            fault_classes=("rotation",),
+            intensities=(2,),
+            seeds=1,
+        )
+        serial = resilience_campaign(TINY, **kw)
+        supervised = parallel_resilience_campaign(TINY, workers=0, **kw)
+        assert supervised.cells == serial.cells
+        assert supervised.failed_jobs == ()
+
+    def test_crash_once_then_succeed_matches_oracle(self):
+        oracle = CampaignSupervisor(_tiny_jobs(), retry=FAST_RETRY).run()
+        jobs = _tiny_jobs()
+        injected = CampaignSupervisor(
+            jobs,
+            retry=FAST_RETRY,
+            fault_injector=WorkerFaultInjector.of(crash={jobs[0].key: 1}),
+        ).run()
+        assert injected.payloads == oracle.payloads
+        assert injected.failed == ()
+        assert injected.stats.crashes == 1
+        assert injected.stats.retries == 1
+
+    def test_permanent_crash_quarantines_with_manifest(self):
+        from repro.experiments.parallel import ALWAYS
+
+        jobs = _tiny_jobs()
+        outcome = CampaignSupervisor(
+            jobs,
+            retry=FAST_RETRY,
+            fault_injector=WorkerFaultInjector.of(
+                crash={jobs[0].key: ALWAYS}
+            ),
+        ).run()
+        assert outcome.payloads == {}
+        assert len(outcome.failed) == 1
+        failed = outcome.failed[0]
+        assert failed.key == jobs[0].key
+        assert failed.reason == "crash"
+        assert failed.attempts == FAST_RETRY.max_attempts
+        assert outcome.stats.quarantined == 1
+
+    def test_corrupt_payload_rejected_then_retried(self):
+        oracle = CampaignSupervisor(_tiny_jobs(), retry=FAST_RETRY).run()
+        jobs = _tiny_jobs()
+        injected = CampaignSupervisor(
+            jobs,
+            retry=FAST_RETRY,
+            fault_injector=WorkerFaultInjector.of(
+                corrupt={jobs[0].key: 2}
+            ),
+        ).run()
+        assert injected.payloads == oracle.payloads
+        assert injected.stats.corrupt == 2
+        assert injected.failed == ()
+
+    def test_campaign_completes_around_poisoned_job(self):
+        """A permanently failing job costs its own samples, nothing else."""
+        from repro.experiments.parallel import ALWAYS
+
+        kw = dict(
+            seeds=1,
+            figures=["fig4"],
+            sweeps={"fig4": (5.0, 10.0)},
+        )
+        serial = run_campaign(TINY, **kw)
+        poisoned_key = figure_jobs(
+            TINY, 1, {"fig4": (5.0, 10.0)}, systems=("REFER",)
+        )[0].key
+        result = parallel_campaign(
+            TINY,
+            workers=0,
+            retry=FAST_RETRY,
+            fault_injector=WorkerFaultInjector.of(
+                crash={poisoned_key: ALWAYS}
+            ),
+            **kw,
+        )
+        assert [f.key for f in result.failed_jobs] == [poisoned_key]
+        healthy = serial.figures["fig4"].series
+        merged = result.figures["fig4"].series
+        assert set(merged) == set(healthy)
+        for system, points in healthy.items():
+            for got, want in zip(merged[system], points):
+                if got.samples == want.samples:
+                    assert got == want
+                else:
+                    # The poisoned point: zero samples, NaN mean.
+                    assert got.samples == 0
+                    assert got.mean != got.mean
+
+    def test_failed_jobs_render_in_report(self):
+        from repro.experiments.campaign import campaign_report
+        from repro.experiments.parallel import ALWAYS
+
+        key = figure_jobs(TINY, 1, {"fig4": (5.0,)}, systems=("REFER",))[
+            0
+        ].key
+        result = parallel_campaign(
+            TINY,
+            workers=0,
+            retry=FAST_RETRY,
+            fault_injector=WorkerFaultInjector.of(crash={key: ALWAYS}),
+            **CAMPAIGN_KW,
+        )
+        report = campaign_report(result)
+        assert "## Failed jobs" in report
+        assert key in report
+
+
+class TestJournalResume:
+    def test_resume_after_truncation_is_byte_identical(self, tmp_path):
+        journal = tmp_path / "campaign.jsonl"
+        kw = dict(
+            seeds=1, figures=["fig4"], sweeps={"fig4": (5.0, 10.0)}
+        )
+        full = parallel_campaign(TINY, journal=str(journal), **kw)
+        assert full.failed_jobs == ()
+        # Kill the coordinator after some completions: drop the last
+        # two job lines plus half of another (a torn tail write).
+        lines = journal.read_text(encoding="utf-8").splitlines()
+        assert len(lines) > 4
+        truncated = lines[:-2] + [lines[-2][: len(lines[-2]) // 2]]
+        journal.write_text(
+            "\n".join(truncated) + "\n", encoding="utf-8"
+        )
+        resumed = parallel_campaign(
+            TINY, journal=str(journal), resume=True, **kw
+        )
+        assert resumed.figures["fig4"] == full.figures["fig4"]
+        assert resumed.failed_jobs == ()
+
+    def test_resume_reuses_journalled_payloads(self, tmp_path):
+        journal = tmp_path / "campaign.jsonl"
+        jobs = _tiny_jobs()
+        from repro.experiments.journal import CampaignJournal
+
+        first = CampaignJournal(str(journal), "fp")
+        CampaignSupervisor(jobs, journal=first).run()
+        first.close()
+        second = CampaignJournal(str(journal), "fp", resume=True)
+        outcome = CampaignSupervisor(_tiny_jobs(), journal=second).run()
+        second.close()
+        assert outcome.stats.reused == len(jobs)
+        assert outcome.stats.executed == 0
+
+    def test_changed_grid_rejected_on_resume(self, tmp_path):
+        journal = tmp_path / "campaign.jsonl"
+        parallel_campaign(TINY, journal=str(journal), **CAMPAIGN_KW)
+        with pytest.raises(ConfigError):
+            parallel_campaign(
+                TINY.with_(seed=2),
+                journal=str(journal),
+                resume=True,
+                **CAMPAIGN_KW,
+            )
+
+
+class TestRealWorkerPool:
+    """Spawned-process suite: real crashes, real hangs, real deadlines."""
+
+    def test_crash_and_hang_detection_with_retries(self):
+        jobs = figure_jobs(
+            TINY, 1, {"fig4": (5.0, 10.0)}, systems=("REFER",)
+        )
+        assert len(jobs) == 2
+        oracle = CampaignSupervisor(jobs, retry=FAST_RETRY).run()
+        injector = WorkerFaultInjector.of(
+            crash={jobs[0].key: 1}, hang={jobs[1].key: 1}
+        )
+        outcome = CampaignSupervisor(
+            figure_jobs(
+                TINY, 1, {"fig4": (5.0, 10.0)}, systems=("REFER",)
+            ),
+            workers=2,
+            # A healthy spawned attempt is ~1.5 s (interpreter + import
+            # + a 0.3 s scenario); 8 s leaves a wide margin while
+            # bounding how long the injected hang is allowed to sit
+            # before the deadline kills it.
+            retry=RetryPolicy(
+                max_attempts=2,
+                deadline_s=8.0,
+                backoff_base_s=0.0,
+                backoff_max_s=0.0,
+            ),
+            fault_injector=injector,
+        ).run()
+        assert outcome.failed == ()
+        assert outcome.payloads == oracle.payloads
+        assert outcome.stats.crashes == 1
+        assert outcome.stats.hangs == 1
+        assert outcome.stats.retries == 2
