@@ -56,15 +56,17 @@ PROTOCOL_DIRS = (
 def in_sim_scope(ctx: RuleContext) -> bool:
     """REF002/REF012 scope: sim subsystems plus the runtime tracer.
 
-    The campaign supervisor and its journal are host-side code, but
-    they sit one import away from the runner, so they are held to the
-    same wall-clock discipline: every deliberate host-clock read
-    (worker deadlines, retry backoff) carries an individually justified
-    suppression instead of being waved through by scope.
+    The campaign supervisor, its journal and the divergence debugger
+    are host-side code, but they sit one import away from the runner
+    (the debugger replays whole sim runs in-process), so they are held
+    to the same wall-clock discipline: every deliberate host-clock
+    read (worker deadlines, retry backoff) carries an individually
+    justified suppression instead of being waved through by scope.
     """
     return (
         ctx.in_directory(*SIM_SCOPED_DIRS)
         or ctx.path.endswith("devtools/cover.py")
+        or ctx.path.endswith("devtools/divergence.py")
         or ctx.path.endswith("experiments/parallel.py")
         or ctx.path.endswith("experiments/journal.py")
     )

@@ -300,6 +300,10 @@ class NoPrintInProtocolCode(Rule):
                 "kautz", "dht", "baselines", "telemetry", "qos",
             )
             or ctx.path.endswith("devtools/cover.py")
+            # The divergence debugger's only stdout is the final
+            # report/JSON verdict, suppressed at the emit site; any
+            # other print() in its replay machinery is a bug.
+            or ctx.path.endswith("devtools/divergence.py")
             # The campaign supervisor runs under sweep CLIs whose
             # stdout is the report; worker/journal progress goes
             # through SupervisorStats, never print().

@@ -38,6 +38,30 @@ from repro.errors import CampaignError, ConfigError
 JOURNAL_VERSION = 1
 
 
+def _verify_trace_hash(
+    path: str, key: str, old_payload: Optional[dict],
+    new_payload: Optional[dict],
+) -> None:
+    """Two completions of one job must agree on their trace fingerprint.
+
+    Payloads carry an optional ``trace_hash`` (the deterministic trace
+    fingerprint of the run — :mod:`repro.telemetry.tracing`).  When a
+    job is executed twice (a resume re-ran work the journal already
+    recorded, or a journal was concatenated by hand), differing
+    fingerprints mean the two executions diverged — merging either
+    silently would hide a determinism bug, so this is a typed error.
+    """
+    old = (old_payload or {}).get("trace_hash")
+    new = (new_payload or {}).get("trace_hash")
+    if old and new and old != new:
+        raise CampaignError(
+            f"journal {path!r} records two completions of job {key!r} "
+            f"with different trace fingerprints ({old[:12]}... vs "
+            f"{new[:12]}...): the runs diverged; localise the fork with "
+            "python -m repro.devtools.divergence"
+        )
+
+
 def spec_fingerprint(*parts: object) -> str:
     """A stable hex fingerprint of an arbitrary repr-able spec tuple.
 
@@ -159,7 +183,19 @@ class CampaignJournal:
                     f"status {entry.status!r}"
                 )
             # Later lines win: a job retried after a recorded failure
-            # overwrites the failure with its eventual success.
+            # overwrites the failure with its eventual success.  Two
+            # *successful* completions, though, must agree on their
+            # trace fingerprint — a silent overwrite would hide a
+            # determinism bug.
+            previous = self.entries.get(entry.key)
+            if (
+                previous is not None
+                and previous.status == "done"
+                and entry.status == "done"
+            ):
+                _verify_trace_hash(
+                    self.path, entry.key, previous.payload, entry.payload
+                )
             self.entries[entry.key] = entry
 
     # -- append --------------------------------------------------------------
@@ -171,7 +207,15 @@ class CampaignJournal:
     def record_done(
         self, key: str, spec_hash: str, attempts: int, payload: dict
     ) -> None:
-        """Checkpoint one successfully merged job result."""
+        """Checkpoint one successfully merged job result.
+
+        Re-recording a job the replay already holds as done verifies
+        the trace fingerprints agree (see :func:`_verify_trace_hash`)
+        before the new line is appended.
+        """
+        previous = self.entries.get(key)
+        if previous is not None and previous.status == "done":
+            _verify_trace_hash(self.path, key, previous.payload, payload)
         entry = JournalEntry(
             key=key,
             spec_hash=spec_hash,

@@ -192,11 +192,14 @@ def payload_from_result(run: RunResult) -> dict:
             for name in _RECOVERY_INT_FIELDS + _RECOVERY_FLOAT_FIELDS
         }
     registry = None
+    trace_hash = None
     if run.telemetry is not None:
         registry = [
             [name, [[list(labels), value] for labels, value in children.items()]]
             for name, children in run.telemetry.registry.as_dict().items()
         ]
+        if run.telemetry.trace is not None:
+            trace_hash = run.telemetry.trace.fingerprint()
     return {
         "version": PAYLOAD_VERSION,
         "system": run.system,
@@ -218,6 +221,7 @@ def payload_from_result(run: RunResult) -> dict:
         "resilience": resilience,
         "recovery": recovery,
         "registry": registry,
+        "trace_hash": trace_hash,
     }
 
 
@@ -360,6 +364,11 @@ def validate_payload(payload: object) -> dict:
                     "registry labels is not a list",
                 )
                 _require(_is_number(value), "registry value is not a number")
+    trace_hash = payload.get("trace_hash")
+    _require(
+        trace_hash is None or isinstance(trace_hash, str),
+        "trace_hash is neither null nor a string",
+    )
     return payload
 
 

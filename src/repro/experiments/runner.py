@@ -106,6 +106,17 @@ def run_scenario(system_name: str, config: ScenarioConfig) -> RunResult:
         telemetry = Telemetry.from_config(config.telemetry)
         if telemetry.profiler is not None:
             sim.set_profiler(telemetry.profiler)
+        if telemetry.trace is not None:
+            # Trace hooks must precede the first stream()/node use so
+            # coverage is complete from t=0; installing on `streams`
+            # here is safe because no stream exists yet.
+            trace = telemetry.trace
+            trace.bind_clock(lambda: sim.now)
+            trace.bind_registry(telemetry.registry)
+            sim.set_trace(trace)
+            streams.set_trace(trace)
+            if telemetry.flight is not None:
+                telemetry.flight.set_tap(trace.lifecycle)
     network = WirelessNetwork(
         sim,
         streams.stream("mac"),

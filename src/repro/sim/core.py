@@ -50,6 +50,11 @@ class Simulator:
         # can be attributed per callback.  None keeps the hot path at a
         # direct call.
         self._profiler = None
+        # Optional trace hook (repro.telemetry.tracing): when set,
+        # every dispatch is digested as (time, seq, label) *before* the
+        # callback runs, so dispatches order ahead of the RNG draws and
+        # lifecycle transitions they cause.
+        self._trace = None
 
     # -- clock -------------------------------------------------------------
 
@@ -79,6 +84,15 @@ class Simulator:
         *execute* the action — it observes, it must not reorder or drop.
         """
         self._profiler = profiler
+
+    def set_trace(self, trace) -> None:
+        """Install (or with ``None`` remove) a dispatch trace stream.
+
+        ``trace`` must expose ``dispatch(time, seq, action)``
+        (:class:`repro.telemetry.tracing.TraceStream`); it observes
+        only — execution stays with the simulator.
+        """
+        self._trace = trace
 
     # -- scheduling ---------------------------------------------------------
 
@@ -113,6 +127,8 @@ class Simulator:
             raise SimulationError("event queue returned a past event")
         self._now = event.time
         self._processed += 1
+        if self._trace is not None:
+            self._trace.dispatch(event.time, event.seq, event.action)
         if self._profiler is None:
             event.action()
         else:

@@ -7,7 +7,10 @@ protocol stats objects are views over it
 :class:`~repro.telemetry.flight.FlightRecorder`, simulated work is
 attributed by the :class:`~repro.telemetry.profiler.SimProfiler`, and
 :mod:`repro.telemetry.export` / :mod:`repro.telemetry.report` turn a
-run into JSONL, Prometheus text or a terminal report.
+run into JSONL, Prometheus text or a terminal report.  The optional
+deterministic trace (:mod:`repro.telemetry.tracing`) records compact
+event digests with rolling checkpoint hashes for the first-divergence
+debugger (:mod:`repro.devtools.divergence`).
 
 Telemetry never changes behaviour: with
 ``ScenarioConfig.telemetry=None`` a run is byte-identical to the
@@ -27,9 +30,16 @@ from repro.telemetry.registry import (
     Registry,
     Sample,
 )
+from repro.telemetry.tracing import (
+    Checkpoint,
+    TraceEvent,
+    TraceStream,
+    TracingConfig,
+)
 from repro.telemetry.views import StatsView, counter_field, gauge_field
 
 __all__ = [
+    "Checkpoint",
     "Counter",
     "DEFAULT_BUCKETS",
     "FlightEvent",
@@ -44,6 +54,9 @@ __all__ = [
     "StatsView",
     "Telemetry",
     "TelemetryConfig",
+    "TraceEvent",
+    "TraceStream",
+    "TracingConfig",
     "counter_field",
     "gauge_field",
 ]

@@ -22,6 +22,7 @@ from repro.errors import ConfigError
 from repro.telemetry.flight import FlightRecorder
 from repro.telemetry.profiler import SimProfiler
 from repro.telemetry.registry import Registry
+from repro.telemetry.tracing import TraceStream, TracingConfig
 
 __all__ = ["TelemetryConfig", "Telemetry"]
 
@@ -40,6 +41,10 @@ class TelemetryConfig:
     #: Also time callbacks with the host clock (report-only; the wall
     #: data never enters the registry or deterministic exports).
     wall_clock: bool = False
+    #: Deterministic trace capture (:mod:`repro.telemetry.tracing`);
+    #: ``None`` records no trace and leaves every hot path at a single
+    #: attribute check.
+    tracing: Optional[TracingConfig] = None
 
     def __post_init__(self) -> None:
         if self.flight_capacity <= 0:
@@ -53,6 +58,7 @@ class Telemetry:
     registry: Registry = field(default_factory=Registry)
     flight: Optional[FlightRecorder] = None
     profiler: Optional[SimProfiler] = None
+    trace: Optional[TraceStream] = None
     #: Detector verdict timeline ``(time, subject, verdict, detail)``,
     #: attached by the runner when the recovery stack ran.
     verdicts: Tuple[object, ...] = ()
@@ -70,10 +76,17 @@ class Telemetry:
                 SimProfiler(wall_clock=config.wall_clock)
                 if config.profiler else None
             ),
+            trace=(
+                TraceStream(config.tracing)
+                if config.tracing is not None else None
+            ),
         )
 
     def finalize(self) -> None:
         """Fold end-of-run aggregates (profiler counters) into the
-        registry; idempotence is the caller's problem — call once."""
+        registry and seal the trace; idempotence is the caller's
+        problem — call once."""
         if self.profiler is not None:
             self.profiler.finalize(self.registry)
+        if self.trace is not None:
+            self.trace.close()

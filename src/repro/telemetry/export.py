@@ -13,11 +13,13 @@ from typing import Iterator, List
 
 from repro.telemetry.flight import FlightRecorder
 from repro.telemetry.registry import Histogram, Registry
+from repro.telemetry.tracing import TraceStream
 
 __all__ = [
     "registry_to_jsonl_lines",
     "registry_to_prometheus",
     "flight_to_jsonl_lines",
+    "trace_to_jsonl_lines",
 ]
 
 
@@ -44,11 +46,26 @@ def registry_to_jsonl_lines(registry: Registry) -> Iterator[str]:
         yield json.dumps(record, sort_keys=True)
 
 
+def _escape_label_value(value: str) -> str:
+    """Escape per the exposition format: backslash, quote, newline."""
+    return (
+        value.replace("\\", "\\\\")
+        .replace('"', '\\"')
+        .replace("\n", "\\n")
+    )
+
+
+def _escape_help(text: str) -> str:
+    """HELP text escapes backslash and newline (quotes stay literal)."""
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
 def _label_str(labels: dict) -> str:
     if not labels:
         return ""
     body = ",".join(
-        f'{key}="{value}"' for key, value in labels.items()
+        f'{key}="{_escape_label_value(value)}"'
+        for key, value in labels.items()
     )
     return "{" + body + "}"
 
@@ -58,7 +75,7 @@ def registry_to_prometheus(registry: Registry) -> str:
     lines: List[str] = []
     for family in registry.families():
         if family.help:
-            lines.append(f"# HELP {family.name} {family.help}")
+            lines.append(f"# HELP {family.name} {_escape_help(family.help)}")
         lines.append(f"# TYPE {family.name} {family.kind}")
         for label_values, metric in sorted(
             family.items(), key=lambda kv: tuple(str(v) for v in kv[0])
@@ -87,6 +104,35 @@ def registry_to_prometheus(registry: Registry) -> str:
                     f"{family.name}{_label_str(labels)} {metric.value}"
                 )
     return "\n".join(lines) + "\n"
+
+
+def trace_to_jsonl_lines(trace: TraceStream) -> Iterator[str]:
+    """The trace evidence: one header line, then one per checkpoint.
+
+    The header carries the run fingerprint (the rolling hash over the
+    full event stream); checkpoint lines let two exported runs be
+    diffed window-by-window without either process alive.
+    """
+    yield json.dumps(
+        {
+            "type": "trace",
+            "fingerprint": trace.fingerprint(),
+            "events_seen": trace.events_seen,
+        },
+        sort_keys=True,
+    )
+    for checkpoint in trace.checkpoints:
+        yield json.dumps(
+            {
+                "type": "checkpoint",
+                "index": checkpoint.index,
+                "time": checkpoint.time,
+                "events_seen": checkpoint.events_seen,
+                "digest": checkpoint.digest,
+                "registry_digest": checkpoint.registry_digest,
+            },
+            sort_keys=True,
+        )
 
 
 def flight_to_jsonl_lines(flight: FlightRecorder) -> Iterator[str]:

@@ -129,6 +129,17 @@ class FlightRecorder:
         self.events_recorded = 0
         self.journeys_started = 0
         self.journeys_evicted = 0
+        # Optional lifecycle tap (repro.telemetry.tracing): every
+        # recorded event is also forwarded as
+        # tap(uid, time, kind, src, dst, info).  None keeps the hot
+        # path at a single attribute check.
+        self._tap = None
+
+    def set_tap(self, tap) -> None:
+        """Forward every recorded event to ``tap`` as well (the trace
+        stream's :meth:`~repro.telemetry.tracing.TraceStream.lifecycle`
+        hook); ``None`` removes it."""
+        self._tap = tap
 
     # -- recording ---------------------------------------------------------
 
@@ -155,6 +166,8 @@ class FlightRecorder:
         """Append one event to ``uid``'s journey."""
         self._events_for(uid).extend((time, kind, src, dst, info))
         self.events_recorded += 1
+        if self._tap is not None:
+            self._tap(uid, time, kind, src, dst, info)
 
     # convenience wrappers used by the instrumented layers -----------------
 
@@ -183,11 +196,18 @@ class FlightRecorder:
         else:
             self.events_recorded += 1
         events += (time, "tx", src, dst, "")
+        tap = self._tap
+        if tap is not None:
+            if queued:
+                tap(uid, time, "enqueue", src, dst, "")
+            tap(uid, time, "tx", src, dst, "")
 
     def hop_rx(self, uid: int, time: float, src: int, dst: int) -> None:
         """The hop's frame arrived and was charged at the receiver."""
         self._events_for(uid).extend((time, "rx", src, dst, ""))
         self.events_recorded += 1
+        if self._tap is not None:
+            self._tap(uid, time, "rx", src, dst, "")
 
     def hop_fail(
         self, uid: int, time: float, src: int, dst: Optional[int], cause: str

@@ -103,6 +103,47 @@ def _class_section(result) -> List[str]:
     return lines
 
 
+def _telemetry_notice(result) -> Optional[List[str]]:
+    """The "telemetry not enabled" section, or None for observed runs.
+
+    A run without a telemetry bundle (or whose registry recorded
+    nothing) cannot render drop reasons, energy-by-kind, timelines or
+    the profile; saying so beats printing empty or partial sections.
+    """
+    telemetry = result.telemetry
+    if telemetry is not None and telemetry.registry.as_dict():
+        return None
+    lines = ["telemetry", _RULE]
+    if telemetry is None:
+        lines.append("  telemetry not enabled for this run: drop reasons,")
+        lines.append("  energy by kind, the detection timeline and the")
+        lines.append("  profile were not recorded.  Re-run with")
+        lines.append("  ScenarioConfig(telemetry=TelemetryConfig()) — the")
+        lines.append("  report CLI always does — to populate these sections.")
+    else:
+        lines.append("  telemetry enabled but the registry is empty (no")
+        lines.append("  instrumented component recorded a sample); drop")
+        lines.append("  reasons, energy by kind and the profile have no")
+        lines.append("  data to render.")
+    return lines
+
+
+def _trace_section(result) -> List[str]:
+    """Deterministic-trace summary (tracing-enabled runs only)."""
+    telemetry = result.telemetry
+    if telemetry is None or telemetry.trace is None:
+        return []
+    trace = telemetry.trace
+    lines = ["deterministic trace", _RULE]
+    lines.append(_fmt_row("events traced", f"{trace.events_seen:,}"))
+    lines.append(_fmt_row("checkpoints", str(len(trace.checkpoints))))
+    lines.append(_fmt_row("fingerprint", trace.fingerprint()[:16]))
+    lines.append(
+        "  compare two runs with python -m repro.devtools.divergence"
+    )
+    return lines
+
+
 def _drop_section(result) -> List[str]:
     lines = ["top drop reasons", _RULE]
     telemetry = result.telemetry
@@ -239,6 +280,10 @@ def render(result) -> str:
     class_block = _class_section(result)
     if class_block:
         sections.append(class_block)
+    notice = _telemetry_notice(result)
+    if notice is not None:
+        sections.append(notice)
+        return "\n\n".join("\n".join(block) for block in sections) + "\n"
     sections.extend(
         [
             _drop_section(result),
@@ -249,6 +294,9 @@ def render(result) -> str:
     profile = _profiler_section(result)
     if profile:
         sections.append(profile)
+    trace_block = _trace_section(result)
+    if trace_block:
+        sections.append(trace_block)
     return "\n\n".join("\n".join(block) for block in sections) + "\n"
 
 
@@ -289,9 +337,17 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "--wall", action="store_true",
         help="collect wall-clock hotspots (report-only, nondeterministic)",
     )
+    parser.add_argument(
+        "--trace", action="store_true",
+        help="record the deterministic trace (repro.telemetry.tracing)",
+    )
     parser.add_argument("--metrics-jsonl", default=None, metavar="PATH")
     parser.add_argument("--flight-jsonl", default=None, metavar="PATH")
     parser.add_argument("--prom", default=None, metavar="PATH")
+    parser.add_argument(
+        "--trace-jsonl", default=None, metavar="PATH",
+        help="write the trace fingerprint + checkpoints (implies --trace)",
+    )
     args = parser.parse_args(argv)
 
     from repro.chaos.spec import FaultSpec
@@ -304,7 +360,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         flight_to_jsonl_lines,
         registry_to_jsonl_lines,
         registry_to_prometheus,
+        trace_to_jsonl_lines,
     )
+    from repro.telemetry.tracing import TracingConfig
 
     config = ScenarioConfig(
         seed=args.seed,
@@ -318,7 +376,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             if args.chaos else ()
         ),
         recovery=RecoveryConfig() if args.recovery else None,
-        telemetry=TelemetryConfig(wall_clock=args.wall),
+        telemetry=TelemetryConfig(
+            wall_clock=args.wall,
+            tracing=(
+                TracingConfig()
+                if args.trace or args.trace_jsonl else None
+            ),
+        ),
         qos=QosConfig() if args.qos else None,
         bursty=(
             BurstyConfig(sources=args.bursty, load_multiplier=args.load)
@@ -342,6 +406,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         if args.prom:
             with open(args.prom, "w", encoding="utf-8") as fh:
                 fh.write(registry_to_prometheus(telemetry.registry))
+        if args.trace_jsonl and telemetry.trace is not None:
+            with open(args.trace_jsonl, "w", encoding="utf-8") as fh:
+                for line in trace_to_jsonl_lines(telemetry.trace):
+                    fh.write(line + "\n")
     return 0
 
 

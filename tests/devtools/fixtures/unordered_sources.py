@@ -1,0 +1,39 @@
+"""Seeded determinism bug for the divergence-debugger tests.
+
+``apply()`` patches :meth:`CbrWorkload._open_window` so the per-window
+source list comes back *sorted* instead of in sample order — the
+classic unordered-iteration bug (iterating a set where order was
+load-bearing).  The RNG draw sequence is unchanged (same ``sample``,
+same ``uniform`` calls), but the stagger offsets land on different
+sources, so packet emission forks from the very first window.
+
+``revert()`` restores the original method; the divergence CLI calls it
+automatically after the run it patched.
+"""
+
+from repro.experiments.workload import CbrWorkload
+
+_original = CbrWorkload._open_window
+
+
+def _patched(self):
+    real_sample = self._rng.sample
+    self._rng.sample = lambda population, k: sorted(real_sample(population, k))
+    try:
+        _original(self)
+    finally:
+        del self._rng.sample
+
+
+# Keep the dispatch label identical to the unpatched method so the
+# debugger localises the *behavioural* fork (packets emitted by the
+# wrong source), not the patch itself.
+_patched.__qualname__ = _original.__qualname__
+
+
+def apply():
+    CbrWorkload._open_window = _patched
+
+
+def revert():
+    CbrWorkload._open_window = _original

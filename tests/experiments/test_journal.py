@@ -191,3 +191,52 @@ class TestLifecycle:
         journal.record_done("k", "s", 1, {})
         journal.close()
         journal.close()  # idempotent
+
+
+class TestTraceHashVerification:
+    """Two completions of one job must agree on their trace fingerprint."""
+
+    def test_record_done_rejects_a_different_trace_hash(self, tmp_path):
+        with _journal(tmp_path / "j.jsonl") as journal:
+            journal.record_done("k", "s", 1, {"v": 1, "trace_hash": "aa" * 32})
+            with pytest.raises(CampaignError, match="trace fingerprints"):
+                journal.record_done(
+                    "k", "s", 2, {"v": 1, "trace_hash": "bb" * 32}
+                )
+
+    def test_record_done_accepts_the_same_trace_hash(self, tmp_path):
+        with _journal(tmp_path / "j.jsonl") as journal:
+            journal.record_done("k", "s", 1, {"trace_hash": "aa" * 32})
+            journal.record_done("k", "s", 2, {"trace_hash": "aa" * 32})
+            assert journal.entries["k"].attempts == 2
+
+    def test_record_done_tolerates_missing_trace_hashes(self, tmp_path):
+        """Untraced payloads (trace_hash None/absent) never conflict."""
+        with _journal(tmp_path / "j.jsonl") as journal:
+            journal.record_done("k", "s", 1, {"trace_hash": None})
+            journal.record_done("k", "s", 2, {"trace_hash": "aa" * 32})
+            journal.record_done("k", "s", 3, {})
+
+    def test_replay_rejects_conflicting_done_lines(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        with _journal(path) as journal:
+            journal.record_done("k", "s", 1, {"trace_hash": "aa" * 32})
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write(json.dumps({
+                "type": "job", "key": "k", "spec_hash": "s",
+                "status": "done", "attempts": 2,
+                "payload": {"trace_hash": "bb" * 32},
+            }) + "\n")
+        with pytest.raises(CampaignError, match="divergence"):
+            _journal(path, resume=True)
+
+    def test_replay_allows_failure_then_done(self, tmp_path):
+        """A retry succeeding after a recorded failure is the normal
+        later-lines-win path, not a conflict."""
+        path = tmp_path / "j.jsonl"
+        with _journal(path) as journal:
+            journal.record_failed("k", "s", 1, "crash", "boom")
+            journal.record_done("k", "s", 2, {"trace_hash": "aa" * 32})
+        replayed = _journal(path, resume=True)
+        assert replayed.entries["k"].status == "done"
+        replayed.close()

@@ -96,6 +96,20 @@ class TestPayloadCodec:
         # lives in the campaign-level merge instead.
         assert result_from_payload("REFER", config, payload).telemetry is None
 
+    def test_untraced_run_carries_null_trace_hash(self):
+        payload = payload_from_result(run_scenario_cached("REFER", TINY))
+        assert payload["trace_hash"] is None
+
+    def test_traced_run_carries_its_fingerprint(self):
+        from repro.telemetry.tracing import TracingConfig
+
+        config = TINY.with_(
+            telemetry=TelemetryConfig(tracing=TracingConfig())
+        )
+        run = run_scenario_cached("REFER", config)
+        payload = validate_payload(payload_from_result(run))
+        assert payload["trace_hash"] == run.telemetry.trace.fingerprint()
+
     @pytest.mark.parametrize(
         "mutate",
         [
@@ -106,6 +120,7 @@ class TestPayloadCodec:
             lambda p: p.update(class_stats=[["bulk", 1, 2, 3]]),
             lambda p: p.update(fault_events=[[0.0, "m", "kind"]]),
             lambda p: p.update(registry=[["name", [[["a"], "NaN"]]]]),
+            lambda p: p.update(trace_hash=123),
         ],
     )
     def test_corrupt_payloads_rejected(self, mutate):

@@ -14,7 +14,13 @@ funnels and the complete registry snapshot across:
 * a pooled run with recycling *active* (no recovery installed — the
   ARQ layer is what forbids recycling) against the plain run;
 * a same-seed repeat at n=2000 sensors on the all-fast engine, pinning
-  construction-scale determinism.
+  construction-scale determinism;
+* the same 8 combinations with the deterministic trace enabled,
+  comparing *trace fingerprints* — event-by-event equality, far
+  stricter than end-of-run metrics — with
+  :func:`repro.telemetry.tracing.diagnose` in the assertion message so
+  a golden failure names the first divergent event instead of two
+  opaque hashes.
 """
 
 import itertools
@@ -28,6 +34,7 @@ from repro.qos.config import BurstyConfig, QosConfig
 from repro.recovery.config import RecoveryConfig
 from repro.sim.engine import EngineConfig
 from repro.telemetry.config import TelemetryConfig
+from repro.telemetry.tracing import TracingConfig, diagnose
 
 #: Every numeric field a run produces; compared with == (exact floats).
 METRIC_FIELDS = (
@@ -129,6 +136,46 @@ def test_pooled_recycling_active_is_byte_identical():
     plain = run_scenario("REFER", base)
     pooled = run_scenario("REFER", base.with_(engine=EngineConfig.fast()))
     assert _signature(pooled) == _signature(plain)
+
+
+#: FULL_STACK with the deterministic trace on, shortened so the traced
+#: 9-run sweep stays cheap; profiler off keeps the trace the only
+#: telemetry delta under test.
+TRACED_STACK = FULL_STACK.with_(
+    sim_time=8.0,
+    telemetry=TelemetryConfig(profiler=False, tracing=TracingConfig()),
+)
+
+
+@pytest.fixture(scope="module")
+def reference_trace():
+    result = run_scenario(
+        "REFER", TRACED_STACK.with_(engine=EngineConfig.reference())
+    )
+    return result.telemetry.trace
+
+
+@pytest.mark.parametrize(
+    "engine", ALL_ENGINES, ids=lambda e: (
+        f"{e.scheduler}-"
+        f"{'interned' if e.interned_ids else 'strings'}-"
+        f"{'pooled' if e.pooled_packets else 'plain'}"
+    )
+)
+def test_all_engine_combinations_trace_identical(engine, reference_trace):
+    """Every combo's event stream is identical, not just its metrics.
+
+    On mismatch the assertion message carries the diagnose() report —
+    first mismatched checkpoint and the first divergent ring event —
+    so the golden self-diagnoses instead of printing two hashes.
+    """
+    result = run_scenario("REFER", TRACED_STACK.with_(engine=engine))
+    trace = result.telemetry.trace
+    assert trace.fingerprint() == reference_trace.fingerprint(), (
+        diagnose(reference_trace, trace)
+    )
+    assert trace.events_seen == reference_trace.events_seen
+    assert trace.checkpoints == reference_trace.checkpoints
 
 
 def test_same_seed_repeat_at_n2000():

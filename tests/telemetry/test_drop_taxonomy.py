@@ -12,12 +12,24 @@ up in ``packet.meta["drop_reason"]``:
 Any new drop site must either reuse a taxonomy entry or extend
 :data:`repro.telemetry.flight.DROP_REASONS` — this test is what makes
 that a hard invariant instead of a convention.
+
+The static closure is complemented by a *runtime* closure
+(:class:`TestTraceClosure`): a traced chaos+QoS run must surface every
+drop reason it actually emits as a ``flight``/``drop`` lifecycle
+transition in the :class:`~repro.telemetry.tracing.TraceStream`, so
+the trace the divergence debugger compares never under-reports drops.
 """
 
 import ast
 import pathlib
 
+from repro.chaos.spec import FaultSpec
+from repro.experiments.config import ScenarioConfig
+from repro.experiments.runner import run_scenario
+from repro.qos.config import BurstyConfig, QosConfig
+from repro.telemetry.config import TelemetryConfig
 from repro.telemetry.flight import DROP_REASONS, HOP_FAIL_CAUSES
+from repro.telemetry.tracing import TracingConfig
 
 SRC_ROOT = pathlib.Path(__file__).resolve().parents[2] / "src" / "repro"
 
@@ -119,3 +131,55 @@ class TestDropTaxonomy:
         """QoS refusals surface as hop failures with the same name."""
         assert "deadline_expired" in HOP_FAIL_CAUSES
         assert "backpressure_shed" in HOP_FAIL_CAUSES
+
+
+class TestTraceClosure:
+    """Every drop a traced run emits is visible in its trace stream."""
+
+    #: Chaos + QoS + bursty overload with tight deadlines: the config
+    #: is chosen to exercise multiple taxonomy entries (token-bucket
+    #: admission rejections *and* deadline expiries), not just one.
+    SCENARIO = ScenarioConfig(
+        seed=11,
+        sensor_count=40,
+        area_side=220.0,
+        sim_time=10.0,
+        warmup=2.0,
+        rate_pps=12.0,
+        fault_spec=(FaultSpec(kind="rotation", start=3.0),),
+        qos=QosConfig(),
+        bursty=BurstyConfig(
+            sources=4,
+            load_multiplier=8.0,
+            alarm_deadline=0.02,
+            control_deadline=0.03,
+            bulk_deadline=0.05,
+        ),
+        telemetry=TelemetryConfig(
+            profiler=False,
+            flight_capacity=1 << 16,
+            # Full capture so no drop event is evicted from the ring.
+            tracing=TracingConfig(capture=(0, 2 ** 62)),
+        ),
+    )
+
+    def test_every_emitted_drop_reason_appears_in_the_trace(self):
+        result = run_scenario("REFER", self.SCENARIO)
+        telemetry = result.telemetry
+        emitted = telemetry.flight.drop_reasons()
+        assert result.dropped > 0 and emitted, (
+            "the scenario produced no drops — broken closure scenario?"
+        )
+        traced_reasons = {
+            event.detail.split(" ", 3)[3]
+            for event in telemetry.trace.captured()
+            if event.kind == "flight" and event.label == "drop"
+        }
+        missing = set(emitted) - traced_reasons
+        assert not missing, (
+            f"drop reasons emitted but absent from the trace: {missing}"
+        )
+        # And the trace never invents reasons outside the taxonomy.
+        assert traced_reasons <= set(DROP_REASONS)
+        # The run exercised more than one taxonomy entry.
+        assert len(traced_reasons) >= 2

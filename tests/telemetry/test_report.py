@@ -13,12 +13,14 @@ import pytest
 
 from repro.experiments.config import ScenarioConfig
 from repro.experiments.runner import run_scenario
-from repro.telemetry import TelemetryConfig
+from repro.telemetry import Telemetry, TelemetryConfig, TracingConfig
 from repro.telemetry.export import (
     flight_to_jsonl_lines,
     registry_to_jsonl_lines,
     registry_to_prometheus,
+    trace_to_jsonl_lines,
 )
+from repro.telemetry.registry import Registry
 from repro.telemetry.report import render
 
 SCENARIO = ScenarioConfig(
@@ -60,6 +62,55 @@ class TestRender:
         assert "delivery / QoS funnel" in text
         # Profiler data only exists on observed runs.
         assert "simulated-work profile" not in text
+
+
+class TestTelemetryNotice:
+    """Disabled/empty telemetry says so instead of rendering holes."""
+
+    def test_disabled_run_prints_the_notice(self):
+        plain = run_scenario("REFER", SCENARIO)
+        text = render(plain)
+        assert "telemetry not enabled for this run" in text
+        assert "ScenarioConfig(telemetry=TelemetryConfig())" in text
+        # The notice replaces the data-less sections entirely.
+        for heading in (
+            "top drop reasons",
+            "energy breakdown",
+            "detection / repair timeline",
+        ):
+            assert heading not in text
+
+    def test_empty_registry_prints_the_empty_variant(self):
+        import dataclasses
+
+        plain = run_scenario("REFER", SCENARIO)
+        plain = dataclasses.replace(
+            plain, telemetry=Telemetry(registry=Registry())
+        )
+        text = render(plain)
+        assert "registry is empty" in text
+        assert "telemetry not enabled" not in text
+
+    def test_observed_run_prints_no_notice(self, observed):
+        text = render(observed)
+        assert "telemetry not enabled" not in text
+        assert "registry is empty" not in text
+
+    def test_traced_run_renders_the_trace_section(self):
+        traced = run_scenario(
+            "REFER",
+            SCENARIO.with_(
+                telemetry=TelemetryConfig(tracing=TracingConfig())
+            ),
+        )
+        text = render(traced)
+        assert "deterministic trace" in text
+        assert "events traced" in text
+        assert traced.telemetry.trace.fingerprint()[:16] in text
+        assert "repro.devtools.divergence" in text
+
+    def test_untraced_run_renders_no_trace_section(self, observed):
+        assert "deterministic trace" not in render(observed)
 
 
 class TestRegistryJsonl:
@@ -106,6 +157,78 @@ class TestPrometheus:
         # The "+Inf" bucket closes the distribution at the total count.
         assert bucket_values[-1] == count
         assert 'le="+Inf"' in text
+
+
+class TestPrometheusEscaping:
+    """Label values and HELP text survive exposition-format escaping."""
+
+    def _registry_with_label(self, value):
+        registry = Registry()
+        counter = registry.counter(
+            "adversarial_total", "counts", labels=("reason",)
+        )
+        counter.child(value).inc()
+        return registry
+
+    def test_backslash_is_escaped(self):
+        text = registry_to_prometheus(self._registry_with_label("a\\b"))
+        assert 'reason="a\\\\b"' in text
+
+    def test_quote_is_escaped(self):
+        text = registry_to_prometheus(self._registry_with_label('say "hi"'))
+        assert 'reason="say \\"hi\\""' in text
+
+    def test_newline_is_escaped(self):
+        text = registry_to_prometheus(self._registry_with_label("two\nlines"))
+        assert 'reason="two\\nlines"' in text
+        # The sample still occupies exactly one exposition line.
+        sample_lines = [
+            line for line in text.splitlines()
+            if line.startswith("adversarial_total{")
+        ]
+        assert len(sample_lines) == 1
+
+    def test_all_three_together(self):
+        hostile = 'a\\b"c\nd'
+        text = registry_to_prometheus(self._registry_with_label(hostile))
+        assert 'reason="a\\\\b\\"c\\nd"' in text
+
+    def test_help_text_escapes_backslash_and_newline(self):
+        registry = Registry()
+        registry.counter("odd_total", 'path \\tmp\nsecond line')
+        text = registry_to_prometheus(registry)
+        help_line = next(
+            line for line in text.splitlines()
+            if line.startswith("# HELP odd_total")
+        )
+        assert help_line == "# HELP odd_total path \\\\tmp\\nsecond line"
+
+    def test_clean_values_are_untouched(self, observed):
+        """Escaping is a no-op for the registry's own label values."""
+        text = registry_to_prometheus(observed.telemetry.registry)
+        assert "\\\\" not in text
+
+
+class TestTraceJsonl:
+    def test_header_and_checkpoints_round_trip(self):
+        traced = run_scenario(
+            "REFER",
+            SCENARIO.with_(
+                telemetry=TelemetryConfig(tracing=TracingConfig())
+            ),
+        )
+        trace = traced.telemetry.trace
+        lines = list(trace_to_jsonl_lines(trace))
+        header = json.loads(lines[0])
+        assert header["type"] == "trace"
+        assert header["fingerprint"] == trace.fingerprint()
+        assert header["events_seen"] == trace.events_seen
+        checkpoints = [json.loads(line) for line in lines[1:]]
+        assert len(checkpoints) == len(trace.checkpoints)
+        for record, checkpoint in zip(checkpoints, trace.checkpoints):
+            assert record["type"] == "checkpoint"
+            assert record["index"] == checkpoint.index
+            assert record["digest"] == checkpoint.digest
 
 
 class TestFlightJsonl:
